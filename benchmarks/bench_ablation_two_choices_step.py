@@ -1,0 +1,95 @@
+"""Ablation: 2-Choices exact-step strategies (per-group vs pair sampling).
+
+2-Choices' population step has two exact samplers with different cost
+profiles — per-group multinomials at O(a^2) for ``a`` alive opinions,
+and direct pair sampling at O(n) — dispatched on ``a^2 <= c n``
+(see ``repro/core/two_choices.py``).  This ablation times both at a
+small-support and a large-support operating point and asserts each wins
+on its home turf, validating the dispatch rule.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.configs import balanced
+from repro.core import TwoChoices
+
+N = 100_000
+
+
+def _stepper(strategy: str, k: int):
+    dynamics = TwoChoices()
+    counts = balanced(N, k)
+    alive = np.flatnonzero(counts)
+    rng = np.random.default_rng(0)
+    method = {
+        "groups": dynamics._population_step_groups,
+        "pairs": dynamics._population_step_pairs,
+    }[strategy]
+
+    def step():
+        method(counts, alive, N, rng)
+
+    return step
+
+
+@pytest.mark.parametrize("strategy", ["groups", "pairs"])
+@pytest.mark.parametrize(
+    "k", [8, 4096], ids=["small-support", "large-support"]
+)
+def test_two_choices_step(benchmark, strategy, k):
+    benchmark(_stepper(strategy, k))
+
+
+def _best_of(step, reps=5):
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        step()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_dispatch_rule_small_support():
+    """a = 8: per-group multinomials should beat O(n) pair sampling."""
+    groups = _best_of(_stepper("groups", 8))
+    pairs = _best_of(_stepper("pairs", 8))
+    assert groups < pairs, f"groups {groups:.2e}s vs pairs {pairs:.2e}s"
+    print(
+        f"\na=8: groups {groups * 1e6:.0f} us < pairs "
+        f"{pairs * 1e6:.0f} us — dispatch picks groups"
+    )
+
+
+def test_dispatch_rule_large_support():
+    """a = 4096 (a^2 >> n): pair sampling should win comfortably."""
+    groups = _best_of(_stepper("groups", 4096), reps=2)
+    pairs = _best_of(_stepper("pairs", 4096), reps=2)
+    assert pairs < groups, f"pairs {pairs:.2e}s vs groups {groups:.2e}s"
+    print(
+        f"\na=4096: pairs {pairs * 1e3:.1f} ms < groups "
+        f"{groups * 1e3:.1f} ms — dispatch picks pairs"
+    )
+
+
+def test_strategies_agree_on_marginals():
+    """Sanity alongside the timing: both samplers target one chain."""
+    dynamics = TwoChoices()
+    counts = balanced(N, 16)
+    alive = np.flatnonzero(counts)
+    rng = np.random.default_rng(1)
+    reps = 200
+    sums = {"groups": np.zeros(16), "pairs": np.zeros(16)}
+    for _ in range(reps):
+        sums["groups"] += dynamics._population_step_groups(
+            counts, alive, N, rng
+        )
+        sums["pairs"] += dynamics._population_step_pairs(
+            counts, alive, N, rng
+        )
+    gap = np.abs(sums["groups"] - sums["pairs"]) / reps
+    assert np.all(gap < 6 * np.sqrt(N / 16))

@@ -1,0 +1,15 @@
+"""Benchmark ``adv`` — Adversarial 3-Majority.
+
+Tolerance threshold of the F-bounded adversary around the [GL18] scale F
+= sqrt(n)/k^1.5.
+
+See ``repro/experiments/adversary.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_adv(regenerate):
+    result = regenerate("adv")
+    assert result.rows

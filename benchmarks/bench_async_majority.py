@@ -1,0 +1,15 @@
+"""Benchmark ``async`` — Async 3-Majority.
+
+[CMRSS25] asynchronous chain: ticks ~ min(kn, n^1.5), and ticks/n tracks
+the synchronous consensus time.
+
+See ``repro/experiments/async_majority.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_async(regenerate):
+    result = regenerate("async")
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark ``ext`` — Section 2.5 extensions.
+
+h-Majority vs h, undecided dynamics vs k, expander vs complete graph,
+and the voter/median baselines.
+
+See ``repro/experiments/extensions.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_ext(regenerate):
+    result = regenerate("ext")
+    assert result.rows

@@ -1,0 +1,17 @@
+"""Benchmark ``fig1`` — Figure 1.
+
+Consensus-time exponent curves vs kappa = log_n k for both dynamics:
+3-Majority flattens at kappa = 1/2 (T = ~Theta(min{k, sqrt n})) while
+2-Choices keeps rising (T = ~Theta(k)); prior-work curves printed
+alongside for the panel (a) comparison.
+
+See ``repro/experiments/fig1.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_fig1(regenerate):
+    result = regenerate("fig1")
+    assert result.rows

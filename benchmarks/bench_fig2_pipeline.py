@@ -1,0 +1,16 @@
+"""Benchmark ``fig2`` — Figure 2.
+
+The lemma pipeline behind Theorem 2.1 (weak vanishes, bias -> weak, bias
+amplification, gamma bounded decrease), each checked within its C log n
+/ gamma_0 window.
+
+See ``repro/experiments/fig2_pipeline.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_fig2(regenerate):
+    result = regenerate("fig2")
+    assert result.rows

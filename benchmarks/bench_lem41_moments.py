@@ -1,0 +1,15 @@
+"""Benchmark ``lem41`` — Lemma 4.1.
+
+Monte-Carlo one-step means and variances vs the closed forms of eqs.
+(5)/(6) and the variance bounds.
+
+See ``repro/experiments/lem41.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_lem41(regenerate):
+    result = regenerate("lem41")
+    assert result.rows

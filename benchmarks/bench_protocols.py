@@ -1,0 +1,114 @@
+"""Benchmark ``protocols`` — the population-protocol related work.
+
+The paper's open question on undecided dynamics (Section 2.5) lives in
+the population-protocol model ([AAE07; AABBHKL23]); this benchmark
+regenerates the model's signature facts on our substrate:
+
+* [AAE07] approximate majority decides for the initial majority in
+  O(log n) *parallel time* (interactions / n) — measured across n;
+* the k-opinion undecided-pairwise protocol reaches consensus and its
+  parallel time grows with k;
+* the pairwise voter baseline is polynomially slower, motivating the
+  richer rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.protocols import (
+    ApproximateMajority,
+    PairwiseEngine,
+    UndecidedPairwise,
+    VoterPairwise,
+)
+from repro.seeding import spawn_generators
+
+
+def _parallel_times(make_engine, runs, seed, budget_factor=500):
+    times = []
+    for rng in spawn_generators(seed, runs):
+        engine = make_engine(rng)
+        budget = budget_factor * engine.num_agents
+        result = engine.run_until_consensus(budget)
+        if result is not None:
+            times.append(result / engine.num_agents)
+    return times
+
+
+def _study() -> dict:
+    rows = []
+    am_by_n = {}
+    for n in (256, 512, 1024):
+        times = _parallel_times(
+            lambda rng: PairwiseEngine(
+                ApproximateMajority(),
+                ApproximateMajority.initial_counts(2 * n // 3, n // 3),
+                seed=rng,
+            ),
+            runs=5,
+            seed=(0, n),
+        )
+        am_by_n[n] = float(np.median(times))
+        rows.append(
+            ["approximate-majority", f"n={n}", am_by_n[n], len(times)]
+        )
+    undecided_by_k = {}
+    n = 512
+    for k in (2, 4, 8):
+        counts = np.zeros(k + 1, dtype=np.int64)
+        counts[:k] = n // k
+        counts[0] += n - counts.sum()
+        times = _parallel_times(
+            lambda rng: PairwiseEngine(
+                UndecidedPairwise(k), counts, seed=rng
+            ),
+            runs=5,
+            seed=(1, k),
+            budget_factor=2000,
+        )
+        undecided_by_k[k] = (
+            float(np.median(times)) if times else float("nan")
+        )
+        rows.append(
+            ["undecided-pairwise", f"k={k}", undecided_by_k[k], len(times)]
+        )
+    voter_times = _parallel_times(
+        lambda rng: PairwiseEngine(
+            VoterPairwise(2),
+            np.asarray([n // 2, n // 2]),
+            seed=rng,
+        ),
+        runs=3,
+        seed=(2,),
+        budget_factor=5000,
+    )
+    voter_median = float(np.median(voter_times))
+    rows.append(["voter-pairwise", f"n={n}", voter_median, len(voter_times)])
+    return {
+        "rows": rows,
+        "am_by_n": am_by_n,
+        "undecided_by_k": undecided_by_k,
+        "voter": voter_median,
+    }
+
+
+def test_regenerate_protocols(benchmark):
+    study = benchmark.pedantic(_study, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["protocol", "point", "median parallel time", "runs"],
+            study["rows"],
+            title="Population-protocol related work ([AAE07; AABBHKL23])",
+        )
+    )
+    am = study["am_by_n"]
+    # O(log n) parallel time: quadrupling n adds a constant, never 4x.
+    assert am[1024] <= 3.0 * am[256] + 2.0
+    # Voter is polynomially slower than approximate majority.
+    assert study["voter"] >= 5.0 * am[512]
+    # Undecided parallel time grows with k.
+    ks = sorted(study["undecided_by_k"])
+    assert study["undecided_by_k"][ks[-1]] >= study["undecided_by_k"][ks[0]]

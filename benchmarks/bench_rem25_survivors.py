@@ -1,0 +1,15 @@
+"""Benchmark ``rem25`` — Remark 2.5.
+
+Surviving-opinion decay (n log n / T for 3-Majority) and its failure for
+2-Choices.
+
+See ``repro/experiments/rem25.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_rem25(regenerate):
+    result = regenerate("rem25")
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark ``thm11`` — Theorem 1.1.
+
+k-sweep of consensus times at fixed n with saturating-power-law fits:
+the headline ~Theta(min{k, sqrt n}) vs ~Theta(k) shapes.
+
+See ``repro/experiments/thm11.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_thm11(regenerate):
+    result = regenerate("thm11")
+    assert result.rows

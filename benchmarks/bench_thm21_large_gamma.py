@@ -1,0 +1,15 @@
+"""Benchmark ``thm21`` — Theorem 2.1.
+
+Consensus time vs 1/gamma_0 for configurations above the gamma_0
+threshold; the hidden constant T gamma_0 / log n stays O(1).
+
+See ``repro/experiments/thm21.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_thm21(regenerate):
+    result = regenerate("thm21")
+    assert result.rows

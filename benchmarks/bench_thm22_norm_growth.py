@@ -1,0 +1,15 @@
+"""Benchmark ``thm22`` — Theorem 2.2.
+
+Hitting time of the gamma_t growth threshold from the balanced k = n
+start, against the sqrt(n) log^2 n / n log^3 n horizons.
+
+See ``repro/experiments/thm22.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_thm22(regenerate):
+    result = regenerate("thm22")
+    assert result.rows

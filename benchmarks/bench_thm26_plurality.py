@@ -1,0 +1,15 @@
+"""Benchmark ``thm26`` — Theorem 2.6.
+
+Plurality-consensus probability across a margin sweep around the
+theorem's threshold margin.
+
+See ``repro/experiments/thm26.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_thm26(regenerate):
+    result = regenerate("thm26")
+    assert result.rows

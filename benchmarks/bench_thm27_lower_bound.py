@@ -1,0 +1,15 @@
+"""Benchmark ``thm27`` — Theorem 2.7.
+
+Omega(k) lower bound: minimum observed consensus time from the balanced
+configuration never undercuts a linear-in-k floor.
+
+See ``repro/experiments/thm27.py`` for the experiment definition and
+DESIGN.md for the artefact-to-module mapping.
+"""
+
+from __future__ import annotations
+
+
+def test_regenerate_thm27(regenerate):
+    result = regenerate("thm27")
+    assert result.rows

@@ -1,0 +1,58 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one paper artefact (see DESIGN.md's
+experiment index): it runs the experiment's ``quick`` preset under
+pytest-benchmark (timing one full regeneration), prints the same
+rows/series the paper reports, saves them as CSV under
+``benchmarks/out/``, and asserts the experiment's shape verdicts — the
+"who wins / by what factor / where's the crossover" checks — so that a
+benchmark run doubles as a reproduction audit.
+
+Run with:  ``pytest benchmarks/ --benchmark-only``
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.comparison import render_comparisons_markdown
+from repro.experiments.registry import run_experiment
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run one experiment under the benchmark timer and audit its shape.
+
+    Returns the :class:`~repro.experiments.base.ExperimentResult`.  The
+    shape audit fails the benchmark only on hard ``mismatch`` verdicts;
+    ``partial`` verdicts (expected at quick-preset sizes where polylog
+    factors are fat) are reported but tolerated.
+    """
+
+    def _run(experiment_id: str, preset: str = "quick", seed: int = 0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"preset": preset, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.table())
+        if result.comparisons:
+            print(render_comparisons_markdown(result.comparisons))
+        result.save_csv(OUT_DIR)
+        mismatches = [
+            c for c in result.comparisons if c.verdict == "mismatch"
+        ]
+        assert not mismatches, (
+            "shape checks failed:\n"
+            + "\n".join(f"- {c.claim}: {c.measured}" for c in mismatches)
+        )
+        return result
+
+    return _run

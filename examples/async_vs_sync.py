@@ -1,0 +1,83 @@
+"""Asynchronous vs synchronous 3-Majority — Section 1.1's correspondence.
+
+One synchronous round is "worth" n asynchronous ticks: [CMRSS25]'s
+asynchronous bound of ~O(min(kn, n^1.5)) ticks suggested the synchronous
+~O(min(k, sqrt n)) that this paper proves.  The correspondence is a
+heuristic, not a theorem — this example measures how well it holds on
+actual runs, k by k.
+
+Run:  python examples/async_vs_sync.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AsyncPopulationEngine,
+    PopulationEngine,
+    ThreeMajority,
+    run_until_consensus,
+)
+from repro.analysis import format_table
+from repro.configs import balanced
+from repro.seeding import spawn_generators
+
+N = 1_024
+KS = (2, 4, 8, 16, 32)
+RUNS = 5
+SEED = 17
+
+
+def main() -> None:
+    rows = []
+    for k in KS:
+        async_ticks = []
+        sync_rounds = []
+        for idx, rng in enumerate(spawn_generators((SEED, k), RUNS)):
+            engine = AsyncPopulationEngine(
+                ThreeMajority(), balanced(N, k), seed=rng
+            )
+            ticks = engine.run_until_consensus(max_ticks=50_000_000)
+            if ticks is not None:
+                async_ticks.append(ticks)
+            pop = PopulationEngine(
+                ThreeMajority(), balanced(N, k), seed=(SEED, k, idx)
+            )
+            result = run_until_consensus(pop, max_rounds=100_000)
+            if result.converged:
+                sync_rounds.append(result.rounds)
+        ticks_median = float(np.median(async_ticks))
+        sync_median = float(np.median(sync_rounds))
+        rows.append(
+            [
+                k,
+                ticks_median,
+                round(ticks_median / N, 1),
+                sync_median,
+                round(ticks_median / N / sync_median, 2),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "k",
+                "async ticks",
+                "ticks / n",
+                "sync rounds",
+                "(ticks/n) / sync",
+            ],
+            rows,
+            title=f"Async vs sync 3-Majority (n={N:,}, {RUNS} runs/row)",
+        )
+    )
+    print(
+        "The last column is the async/sync correspondence constant; the\n"
+        "paper explains why proving it rigorously required new machinery\n"
+        "(synchronous jumps are unbounded, breaking [CMRSS25]'s D = 1/n\n"
+        "Freedman argument — hence the Bernstein condition of Section 3.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

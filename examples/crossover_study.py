@@ -1,0 +1,97 @@
+"""The sqrt(n) crossover — the paper's headline (Theorem 1.1) at a glance.
+
+Sweeps the number of opinions k at fixed n for both dynamics and prints
+the measured consensus times next to the paper's bound shapes:
+
+* 3-Majority tracks ``k log n`` until ``k ~ sqrt(n)``, then *flattens*
+  at ``~sqrt(n)`` — adding more opinions beyond sqrt(n) costs nothing,
+  because the norm-growth phase (Theorem 2.2) dominates;
+* 2-Choices stays linear in k all the way to ``k = n`` — the regime no
+  bound covered before this paper.
+
+A saturating power-law fit extracts the crossover location from the
+measured 3-Majority curve and compares it to sqrt(n).
+
+Run:  python examples/crossover_study.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import PopulationEngine, ThreeMajority, TwoChoices
+from repro.analysis import (
+    fit_power_law,
+    fit_saturating_power_law,
+    format_table,
+)
+from repro.configs import balanced
+from repro.engine import replicate, run_until_consensus
+
+N = 65_536  # sqrt(n) = 256
+KS = (4, 16, 64, 256, 1024, 4096)
+RUNS = 3
+SEED = 11
+
+
+def median_time(dynamics, k: int, seed) -> float:
+    def one(rng):
+        engine = PopulationEngine(dynamics, balanced(N, k), seed=rng)
+        return run_until_consensus(engine, max_rounds=500_000)
+
+    results = replicate(one, RUNS, seed=seed)
+    return float(np.median([r.rounds for r in results if r.converged]))
+
+
+def main() -> None:
+    sqrt_n = math.sqrt(N)
+    rows = []
+    series = {"3-majority": [], "2-choices": []}
+    for k in KS:
+        t3 = median_time(ThreeMajority(), k, seed=(SEED, k, 0))
+        t2 = median_time(TwoChoices(), k, seed=(SEED, k, 1))
+        series["3-majority"].append(t3)
+        series["2-choices"].append(t2)
+        rows.append(
+            [
+                k,
+                t3,
+                t2,
+                round(min(k, sqrt_n), 0),
+                k,
+                round(t2 / t3, 1),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "k",
+                "3-majority T",
+                "2-choices T",
+                "min(k, sqrt n)",
+                "k (2-choices shape)",
+                "2c/3m",
+            ],
+            rows,
+            title=f"Crossover study, n = {N:,} (sqrt n = {sqrt_n:.0f})",
+        )
+    )
+    fit = fit_saturating_power_law(
+        np.asarray(KS, float), np.asarray(series["3-majority"])
+    )
+    linear = fit_power_law(
+        np.asarray(KS, float), np.asarray(series["2-choices"])
+    )
+    print(
+        f"3-Majority: rising exponent {fit.exponent:.2f}, plateau at "
+        f"{fit.plateau:.0f} rounds,\n  measured crossover k ~ "
+        f"{fit.crossover:.0f} vs sqrt(n) = {sqrt_n:.0f} (Theorem 1.1).\n"
+        f"2-Choices: global exponent {linear.exponent:.2f} "
+        f"(r^2 = {linear.r_squared:.3f}) — linear in k, no plateau."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: run 3-Majority and 2-Choices to consensus and watch gamma_t.
+
+Demonstrates the core public API:
+
+* build an initial configuration (``repro.configs``),
+* construct the exact population engine (``PopulationEngine``),
+* run to consensus with a trajectory recorder,
+* compare the measured time against the paper's bound shapes
+  (``repro.theory.bounds``).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    PopulationEngine,
+    ThreeMajority,
+    TwoChoices,
+    TrajectoryRecorder,
+    run_until_consensus,
+)
+from repro.analysis import format_table
+from repro.configs import balanced
+from repro.theory.bounds import upper_bound
+
+N = 100_000
+K = 100
+SEED = 7
+
+
+def run_one(dynamics) -> list:
+    recorder = TrajectoryRecorder(record_gamma=True, record_alive=True)
+    engine = PopulationEngine(dynamics, balanced(N, K), seed=SEED)
+    result = run_until_consensus(
+        engine, max_rounds=200_000, observers=(recorder,)
+    )
+    arrays = recorder.as_arrays()
+    halfway = len(arrays["gamma"]) // 2
+    return [
+        dynamics.name,
+        result.rounds,
+        f"opinion {result.winner}",
+        f"{arrays['gamma'][0]:.5f}",
+        f"{arrays['gamma'][halfway]:.4f}",
+        round(upper_bound(dynamics.name, N, K), 0),
+        arrays["alive"][halfway],
+    ]
+
+
+def main() -> None:
+    rows = [run_one(ThreeMajority()), run_one(TwoChoices())]
+    print(
+        format_table(
+            [
+                "dynamics",
+                "T_cons",
+                "winner",
+                "gamma_0",
+                "gamma mid-run",
+                "paper bound",
+                "alive mid-run",
+            ],
+            rows,
+            title=(
+                f"Consensus from the balanced configuration "
+                f"(n={N:,}, k={K})"
+            ),
+        )
+    )
+    print(
+        "Both dynamics start at gamma_0 = 1/k and ride the submartingale\n"
+        "gamma_t upward (Theorem 2.2) until weak opinions die in bulk\n"
+        "(Lemma 5.2); 3-Majority kills losers faster because a vertex\n"
+        "abandons its own opinion every round, while 2-Choices only\n"
+        "switches on an agreeing pair."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""repro — reproduction of "3-Majority and 2-Choices with Many Opinions".
+
+A production-quality simulator, theory toolbox and experiment harness
+for the synchronous consensus dynamics analysed by Shimizu & Shiraga
+(PODC 2025, arXiv:2503.02426).
+
+Quickstart
+----------
+>>> from repro import ThreeMajority, PopulationEngine, run_until_consensus
+>>> from repro.configs import balanced
+>>> engine = PopulationEngine(ThreeMajority(), balanced(10_000, 50), seed=1)
+>>> result = run_until_consensus(engine, max_rounds=10_000)
+>>> result.converged
+True
+
+Package map
+-----------
+``repro.core``        the dynamics (3-Majority, 2-Choices, h-Majority,
+                      undecided, voter, median);
+``repro.engine``      exact population engine, agent engine, async
+                      engine, run control;
+``repro.graphs``      complete graph and the Section 2.5 graph families;
+``repro.configs``     initial configurations keyed to the theorems;
+``repro.theory``      the paper's formulas: drift (Lemma 4.1), Bernstein
+                      condition (Def. 3.3), Freedman bounds (Lemma 3.5),
+                      stopping times (Def. 4.4), bound curves (Fig. 1);
+``repro.adversary``   F-bounded adversaries ([GL18] model);
+``repro.protocols``   population-protocol substrate ([AAE07] approx.
+                      majority, pairwise undecided dynamics);
+``repro.analysis``    estimators, scaling fits, tables, reporting;
+``repro.sweep``       cached ad-hoc parameter sweeps;
+``repro.experiments`` one module per paper table/figure/theorem.
+"""
+
+from repro.adversary import (
+    AdversarialPopulationEngine,
+    RandomCorruption,
+    ReviveWeakest,
+    SupportRunnerUp,
+)
+from repro.core import (
+    Dynamics,
+    HMajority,
+    MedianRule,
+    ThreeMajority,
+    TwoChoices,
+    UndecidedStateDynamics,
+    Voter,
+    make_dynamics,
+)
+from repro.engine import (
+    AgentEngine,
+    AsyncPopulationEngine,
+    PopulationEngine,
+    RunResult,
+    TrajectoryRecorder,
+    replicate,
+    run_until_consensus,
+)
+from repro.errors import (
+    ConfigurationError,
+    ConsensusNotReached,
+    GraphError,
+    ReproError,
+    StateError,
+)
+from repro.graphs import CompleteGraph
+from repro.protocols import (
+    ApproximateMajority,
+    PairwiseEngine,
+    UndecidedPairwise,
+)
+from repro.sweep import SweepSpec, run_sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdversarialPopulationEngine",
+    "AgentEngine",
+    "ApproximateMajority",
+    "AsyncPopulationEngine",
+    "CompleteGraph",
+    "ConfigurationError",
+    "ConsensusNotReached",
+    "Dynamics",
+    "GraphError",
+    "HMajority",
+    "MedianRule",
+    "PairwiseEngine",
+    "PopulationEngine",
+    "RandomCorruption",
+    "ReproError",
+    "ReviveWeakest",
+    "RunResult",
+    "StateError",
+    "SupportRunnerUp",
+    "SweepSpec",
+    "ThreeMajority",
+    "TrajectoryRecorder",
+    "TwoChoices",
+    "UndecidedPairwise",
+    "UndecidedStateDynamics",
+    "Voter",
+    "__version__",
+    "make_dynamics",
+    "replicate",
+    "run_sweep",
+    "run_until_consensus",
+]

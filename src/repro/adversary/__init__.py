@@ -1,0 +1,16 @@
+"""F-bounded adversarial corruption ([GL18] model, paper Section 2.5)."""
+
+from repro.adversary.base import Adversary, AdversarialPopulationEngine
+from repro.adversary.strategies import (
+    RandomCorruption,
+    ReviveWeakest,
+    SupportRunnerUp,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversarialPopulationEngine",
+    "RandomCorruption",
+    "ReviveWeakest",
+    "SupportRunnerUp",
+]

@@ -1,0 +1,90 @@
+"""Concrete adversary strategies.
+
+* :class:`RandomCorruption` — a noise model: F random vertices get
+  uniformly random opinions.  Benign on average (pushes towards the
+  balanced configuration slowly).
+* :class:`SupportRunnerUp` — the canonical stalling adversary: moves F
+  vertices from the current leader to the strongest challenger, directly
+  fighting the bias amplification the proofs rely on (Lemmas 5.4-5.10).
+* :class:`ReviveWeakest` — keeps the weakest *surviving* opinion alive
+  by feeding it from the leader, fighting weak-opinion vanishing
+  (Lemma 5.2).
+
+All strategies conserve mass and respect the ``F`` budget; when the
+configuration is already at consensus, :class:`SupportRunnerUp` and
+:class:`ReviveWeakest` stop corrupting (consensus reached despite the
+adversary is a meaningful outcome, and a "revive the dead" adversary
+would trivially prevent consensus forever — that regime is measured by
+the tolerance sweep instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.base import Adversary
+
+__all__ = ["RandomCorruption", "ReviveWeakest", "SupportRunnerUp"]
+
+
+class RandomCorruption(Adversary):
+    """Reassign up to ``budget`` random vertices to random opinions."""
+
+    def corrupt(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.budget == 0:
+            return counts
+        n = int(counts.sum())
+        k = counts.size
+        new_counts = counts.copy()
+        # Victims ~ uniformly random vertices == multinomial over alpha;
+        # cap per-opinion removals at current counts.
+        victims = rng.multinomial(min(self.budget, n), counts / n)
+        victims = np.minimum(victims, new_counts)
+        moved = int(victims.sum())
+        new_counts -= victims
+        new_counts += rng.multinomial(moved, np.full(k, 1.0 / k))
+        return new_counts
+
+
+class SupportRunnerUp(Adversary):
+    """Move up to ``budget`` vertices from the leader to the runner-up."""
+
+    def corrupt(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        alive = np.flatnonzero(counts)
+        if self.budget == 0 or alive.size < 2:
+            return counts
+        new_counts = counts.copy()
+        order = alive[np.argsort(counts[alive])]
+        leader = int(order[-1])
+        runner_up = int(order[-2])
+        # Never push the runner-up past the leader: the adversary's goal
+        # is a stalemate, not crowning a new leader (which would only
+        # speed consensus up).
+        gap = int(counts[leader] - counts[runner_up])
+        move = min(self.budget, max(gap // 2, 0), int(counts[leader]) - 1)
+        new_counts[leader] -= move
+        new_counts[runner_up] += move
+        return new_counts
+
+
+class ReviveWeakest(Adversary):
+    """Feed the weakest surviving opinion from the leader's mass."""
+
+    def corrupt(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        alive = np.flatnonzero(counts)
+        if self.budget == 0 or alive.size < 2:
+            return counts
+        new_counts = counts.copy()
+        order = alive[np.argsort(counts[alive])]
+        weakest = int(order[0])
+        leader = int(order[-1])
+        move = min(self.budget, int(counts[leader]) - 1)
+        new_counts[leader] -= move
+        new_counts[weakest] += move
+        return new_counts

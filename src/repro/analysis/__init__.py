@@ -1,0 +1,49 @@
+"""Statistical analysis of simulation output."""
+
+from repro.analysis.reporting import render_experiments_markdown  # noqa: F401
+from repro.analysis.comparison import (
+    ComparisonRecord,
+    render_comparisons_markdown,
+)
+from repro.analysis.estimators import (
+    SummaryStats,
+    bootstrap_ci,
+    consensus_times,
+    success_probability,
+    summarize,
+    wilson_interval,
+)
+from repro.analysis.scaling import (
+    PowerLawFit,
+    SaturatingFit,
+    fit_power_law,
+    fit_saturating_power_law,
+    split_exponents,
+)
+from repro.analysis.tables import format_table, write_csv
+from repro.analysis.trajectories import (
+    envelope,
+    first_hitting_time,
+    survival_curve,
+)
+
+__all__ = [
+    "ComparisonRecord",
+    "PowerLawFit",
+    "SaturatingFit",
+    "SummaryStats",
+    "bootstrap_ci",
+    "consensus_times",
+    "envelope",
+    "first_hitting_time",
+    "fit_power_law",
+    "fit_saturating_power_law",
+    "format_table",
+    "render_comparisons_markdown",
+    "split_exponents",
+    "success_probability",
+    "summarize",
+    "survival_curve",
+    "wilson_interval",
+    "write_csv",
+]

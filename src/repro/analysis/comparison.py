@@ -1,0 +1,50 @@
+"""Paper-vs-measured comparison records.
+
+Each experiment emits :class:`ComparisonRecord` objects stating what the
+paper claims, what was measured, and whether the measured shape matches.
+EXPERIMENTS.md is generated from these records, so the reproduction's
+bookkeeping lives next to the code that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComparisonRecord", "render_comparisons_markdown"]
+
+
+@dataclass(frozen=True)
+class ComparisonRecord:
+    """One paper-claim-vs-measurement line.
+
+    ``verdict`` is one of ``"match"``, ``"partial"``, ``"mismatch"`` —
+    assigned by the experiment's own shape test, never by hand.
+    """
+
+    experiment_id: str
+    claim: str
+    measured: str
+    verdict: str
+
+    VERDICTS = ("match", "partial", "mismatch")
+
+    def __post_init__(self) -> None:
+        if self.verdict not in self.VERDICTS:
+            raise ValueError(
+                f"verdict must be one of {self.VERDICTS}, "
+                f"got {self.verdict!r}"
+            )
+
+
+def render_comparisons_markdown(records) -> str:
+    """Render records as a GitHub-flavoured markdown table."""
+    lines = [
+        "| experiment | paper claim | measured | verdict |",
+        "|---|---|---|---|",
+    ]
+    for rec in records:
+        lines.append(
+            f"| {rec.experiment_id} | {rec.claim} | {rec.measured} "
+            f"| {rec.verdict} |"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,154 @@
+"""Statistical summaries of Monte-Carlo run results.
+
+Consensus times are heavy-tailed near phase boundaries, so the default
+point estimate is the median with bootstrap confidence intervals; success
+probabilities (plurality consensus, Theorem 2.6) use Wilson score
+intervals, which behave sensibly at 0 and 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.runner import RunResult
+from repro.seeding import RandomState, as_generator
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SummaryStats",
+    "bootstrap_ci",
+    "consensus_times",
+    "success_probability",
+    "summarize",
+    "wilson_interval",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    q25: float
+    q75: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_sample(cls, data: np.ndarray) -> "SummaryStats":
+        data = np.asarray(data, dtype=np.float64)
+        if data.size == 0:
+            raise ConfigurationError("cannot summarise an empty sample")
+        return cls(
+            count=int(data.size),
+            mean=float(np.mean(data)),
+            std=float(np.std(data, ddof=1)) if data.size > 1 else 0.0,
+            median=float(np.median(data)),
+            q25=float(np.quantile(data, 0.25)),
+            q75=float(np.quantile(data, 0.75)),
+            minimum=float(np.min(data)),
+            maximum=float(np.max(data)),
+        )
+
+
+def summarize(data) -> SummaryStats:
+    """Shorthand for :meth:`SummaryStats.from_sample`."""
+    return SummaryStats.from_sample(np.asarray(data, dtype=np.float64))
+
+
+def consensus_times(
+    results: Sequence[RunResult], require_all: bool = False
+) -> np.ndarray:
+    """Extract consensus times from converged runs.
+
+    Non-converged runs are dropped (with ``require_all=True`` they raise
+    instead — use when a censored time would silently bias the summary).
+    """
+    times = [r.rounds for r in results if r.converged]
+    if require_all and len(times) != len(results):
+        missing = len(results) - len(times)
+        raise ConfigurationError(
+            f"{missing} of {len(results)} runs did not converge; "
+            "increase max_rounds or pass require_all=False"
+        )
+    return np.asarray(times, dtype=np.float64)
+
+
+def bootstrap_ci(
+    data,
+    statistic: Callable[[np.ndarray], float] = np.median,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: RandomState = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``statistic``."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    rng = as_generator(seed)
+    indices = rng.integers(0, data.size, size=(num_resamples, data.size))
+    stats = np.asarray(
+        [statistic(data[row]) for row in indices], dtype=np.float64
+    )
+    tail = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, tail)),
+        float(np.quantile(stats, 1.0 - tail)),
+    )
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes must be in [0, trials], got {successes}/{trials}"
+        )
+    from scipy.stats import norm
+
+    z = float(norm.ppf(1.0 - (1.0 - confidence) / 2.0))
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * np.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def success_probability(
+    results: Sequence[RunResult],
+    predicate: Callable[[RunResult], bool],
+    confidence: float = 0.95,
+) -> dict:
+    """Empirical probability of ``predicate`` with a Wilson interval.
+
+    Returns ``{"probability", "low", "high", "successes", "trials"}``.
+    Typical predicate: ``lambda r: r.converged and r.winner == 0`` for
+    plurality consensus on opinion 0.
+    """
+    trials = len(results)
+    successes = sum(1 for r in results if predicate(r))
+    low, high = wilson_interval(successes, trials, confidence)
+    return {
+        "probability": successes / trials,
+        "low": low,
+        "high": high,
+        "successes": successes,
+        "trials": trials,
+    }

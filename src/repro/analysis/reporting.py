@@ -1,0 +1,92 @@
+"""EXPERIMENTS.md generation from experiment results.
+
+:func:`render_experiments_markdown` turns a list of
+:class:`~repro.experiments.base.ExperimentResult` objects into the
+paper-vs-measured report this repository ships as EXPERIMENTS.md, so
+the report can always be regenerated from scratch:
+
+    python -m repro report --preset paper --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import platform
+from datetime import date
+
+from repro.analysis.comparison import render_comparisons_markdown
+
+__all__ = ["render_experiments_markdown"]
+
+_HEADER = """# EXPERIMENTS — paper vs. measured
+
+Reproduction results for *3-Majority and 2-Choices with Many Opinions*
+(Shimizu & Shiraga, PODC 2025).  Regenerate this file with:
+
+    python -m repro report --preset {preset} --output EXPERIMENTS.md
+
+Every experiment prints the series its paper artefact reports and a set
+of machine-checked *shape verdicts* (who wins, by what factor, where
+crossovers fall).  ``match`` means the measured shape agrees with the
+paper's claim; ``partial`` means agreement with caveats at this scale
+(typically fat polylog factors at laptop-size n); ``mismatch`` would
+flag a reproduction failure.
+
+Environment: Python {python}, preset ``{preset}``, generated {today}.
+
+## Verdict summary
+
+{summary}
+
+"""
+
+
+def render_experiments_markdown(
+    results,
+    preset: str,
+    elapsed: dict[str, float] | None = None,
+) -> str:
+    """Render the full EXPERIMENTS.md body for a completed sweep."""
+    elapsed = elapsed or {}
+    summary_rows = []
+    for result in results:
+        verdicts = [c.verdict for c in result.comparisons]
+        state = (
+            "match"
+            if verdicts and all(v == "match" for v in verdicts)
+            else ("mismatch" if "mismatch" in verdicts else "partial")
+        )
+        summary_rows.append(
+            f"| {result.experiment_id} | {result.title} | "
+            f"{verdicts.count('match')}/{len(verdicts)} match | {state} |"
+        )
+    summary = "\n".join(
+        [
+            "| experiment | artefact | verdicts | overall |",
+            "|---|---|---|---|",
+            *summary_rows,
+        ]
+    )
+    parts = [
+        _HEADER.format(
+            preset=preset,
+            python=platform.python_version(),
+            today=date.today().isoformat(),
+            summary=summary,
+        )
+    ]
+    for result in results:
+        parts.append(f"## {result.experiment_id} — {result.title}\n")
+        timing = elapsed.get(result.experiment_id)
+        if timing is not None:
+            parts.append(f"*Wall-clock: {timing:.1f}s.*\n")
+        parts.append("```")
+        parts.append(result.table().rstrip())
+        parts.append("```\n")
+        if result.notes:
+            parts.append(f"{result.notes}\n")
+        if result.comparisons:
+            parts.append(
+                render_comparisons_markdown(result.comparisons)
+            )
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,152 @@
+"""Scaling-law fits for consensus-time curves.
+
+Theorem 1.1's claims are about *shapes*: 3-Majority's consensus time
+grows like ``k`` until ``k ~ sqrt(n)`` and then flattens, while
+2-Choices keeps growing linearly.  The fitters here extract those shapes
+from measured ``(k, T)`` series:
+
+* :func:`fit_power_law` — least-squares exponent on log-log axes;
+* :func:`fit_saturating_power_law` — the ``min(a k^b, c)`` shape of
+  Figure 1(b)'s 3-Majority curve, with the crossover location;
+* :func:`split_exponents` — exponents on the lower/upper halves of a
+  sweep, a robust crossover detector used by the shape assertions in the
+  benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PowerLawFit",
+    "SaturatingFit",
+    "fit_power_law",
+    "fit_saturating_power_law",
+    "split_exponents",
+]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ~ amplitude * x^exponent`` fitted on log-log axes."""
+
+    exponent: float
+    amplitude: float
+    r_squared: float
+
+    def predict(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self.amplitude * x**self.exponent
+
+
+def _validated_xy(x, y) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ConfigurationError("x and y must be 1-D arrays of equal size")
+    if x.size < 2:
+        raise ConfigurationError("need at least two points to fit")
+    if (x <= 0).any() or (y <= 0).any():
+        raise ConfigurationError("power-law fits need positive data")
+    return x, y
+
+
+def fit_power_law(x, y) -> PowerLawFit:
+    """Ordinary least squares of ``log y`` on ``log x``."""
+    x, y = _validated_xy(x, y)
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    predicted = slope * lx + intercept
+    ss_res = float(np.sum((ly - predicted) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(
+        exponent=float(slope),
+        amplitude=float(np.exp(intercept)),
+        r_squared=r2,
+    )
+
+
+@dataclass(frozen=True)
+class SaturatingFit:
+    """``y ~ min(amplitude * x^exponent, plateau)`` with crossover.
+
+    ``crossover`` is the x at which the rising branch meets the plateau;
+    ``x`` values beyond it are predicted flat.
+    """
+
+    exponent: float
+    amplitude: float
+    plateau: float
+    crossover: float
+    sse: float
+
+    def predict(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.minimum(self.amplitude * x**self.exponent, self.plateau)
+
+
+def fit_saturating_power_law(x, y) -> SaturatingFit:
+    """Fit ``min(a x^b, c)`` by scanning the breakpoint.
+
+    For each candidate split position the rising branch is fitted on the
+    left part and the plateau as the mean of the right part (in log
+    space); the split with the smallest total squared error on log axes
+    wins.  The all-rising and all-flat extremes are included, so the
+    fitter degrades gracefully on data with no crossover.
+    """
+    x, y = _validated_xy(x, y)
+    order = np.argsort(x)
+    x, y = x[order], y[order]
+    lx, ly = np.log(x), np.log(y)
+    best: SaturatingFit | None = None
+    m = x.size
+    for split in range(2, m + 1):
+        # Rising branch on points [0, split); plateau on [split, m).
+        slope, intercept = np.polyfit(lx[:split], ly[:split], 1)
+        if split < m:
+            plateau_log = float(np.mean(ly[split:]))
+        else:
+            plateau_log = float(ly[-1] + 10.0)  # effectively no plateau
+        predicted = np.minimum(slope * lx + intercept, plateau_log)
+        sse = float(np.sum((ly - predicted) ** 2))
+        if best is None or sse < best.sse:
+            amplitude = float(np.exp(intercept))
+            plateau = float(np.exp(plateau_log))
+            if slope > 0:
+                crossover = float((plateau / amplitude) ** (1.0 / slope))
+            else:
+                crossover = float("inf")
+            best = SaturatingFit(
+                exponent=float(slope),
+                amplitude=amplitude,
+                plateau=plateau,
+                crossover=crossover,
+                sse=sse,
+            )
+    assert best is not None  # m >= 2 guarantees at least one candidate
+    return best
+
+
+def split_exponents(x, y) -> tuple[float, float]:
+    """Power-law exponents on the lower and upper halves of the sweep.
+
+    A cheap, assumption-light crossover detector: for 3-Majority beyond
+    ``sqrt(n)`` the upper-half exponent collapses towards 0 while the
+    lower half stays near 1; for 2-Choices both stay near 1.
+    """
+    x, y = _validated_xy(x, y)
+    order = np.argsort(x)
+    x, y = x[order], y[order]
+    half = x.size // 2
+    if half < 2 or x.size - half < 2:
+        raise ConfigurationError(
+            "need at least 4 points for split exponents"
+        )
+    low = fit_power_law(x[:half], y[:half])
+    high = fit_power_law(x[half:], y[half:])
+    return low.exponent, high.exponent

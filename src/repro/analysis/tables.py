@@ -1,0 +1,75 @@
+"""Text-table and CSV rendering for experiment output.
+
+No plotting dependency is assumed; every experiment renders its
+rows/series the way the paper's tables read, as aligned ASCII, and can
+dump CSV for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["format_table", "write_csv"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated ASCII table."""
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for pos, cell in enumerate(row):
+            widths[pos] = max(widths[pos], len(cell))
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = " | ".join(
+        h.ljust(widths[pos]) for pos, h in enumerate(headers)
+    )
+    out.write(header_line + "\n")
+    out.write("-+-".join("-" * w for w in widths) + "\n")
+    for row in str_rows:
+        out.write(
+            " | ".join(
+                cell.ljust(widths[pos]) for pos, cell in enumerate(row)
+            )
+            + "\n"
+        )
+    return out.getvalue()
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+) -> Path:
+    """Write rows to ``path`` as CSV; parent directories are created."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

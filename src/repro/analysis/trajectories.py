@@ -1,0 +1,79 @@
+"""Trajectory-level utilities: hitting times, survival, envelopes.
+
+These operate on recorded per-round series (see
+:class:`~repro.engine.callbacks.TrajectoryRecorder`) and back the
+norm-growth (Theorem 2.2) and weak-opinion-vanishing (Lemma 5.2)
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "envelope",
+    "first_hitting_time",
+    "survival_curve",
+]
+
+
+def first_hitting_time(
+    series: np.ndarray,
+    threshold: float,
+    direction: str = "up",
+) -> int | None:
+    """First index where the series crosses ``threshold``.
+
+    ``direction="up"`` fires at ``series[t] >= threshold``;
+    ``"down"`` at ``series[t] <= threshold``.  Returns ``None`` if the
+    series never crosses.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if direction == "up":
+        hits = np.flatnonzero(series >= threshold)
+    elif direction == "down":
+        hits = np.flatnonzero(series <= threshold)
+    else:
+        raise ConfigurationError(
+            f"direction must be 'up' or 'down', got {direction!r}"
+        )
+    return int(hits[0]) if hits.size else None
+
+
+def survival_curve(times, horizon: int) -> np.ndarray:
+    """Fraction of runs still *not* finished at each round ``0..horizon``.
+
+    ``times`` holds per-run completion rounds with ``None`` (or NaN) for
+    runs that never finished; those count as surviving throughout.
+    """
+    finished = np.asarray(
+        [np.inf if t is None else float(t) for t in times],
+        dtype=np.float64,
+    )
+    finished = np.where(np.isnan(finished), np.inf, finished)
+    grid = np.arange(horizon + 1, dtype=np.float64)
+    return (finished[None, :] > grid[:, None]).mean(axis=1)
+
+
+def envelope(series_list) -> dict[str, np.ndarray]:
+    """Pointwise min/median/max over same-length series.
+
+    Used to band gamma_t trajectories across replicas; raises when the
+    series differ in length (align them on a fixed horizon first).
+    """
+    arrays = [np.asarray(s, dtype=np.float64) for s in series_list]
+    if not arrays:
+        raise ConfigurationError("need at least one series")
+    length = arrays[0].size
+    if any(a.size != length for a in arrays):
+        raise ConfigurationError(
+            "all series must have equal length for an envelope"
+        )
+    stacked = np.vstack(arrays)
+    return {
+        "min": stacked.min(axis=0),
+        "median": np.median(stacked, axis=0),
+        "max": stacked.max(axis=0),
+    }

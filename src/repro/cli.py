@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro`` / ``repro-experiments``.
+
+Subcommands
+-----------
+``list``
+    Show the experiment index (id, title, presets).
+``run <id> [--preset P] [--seed N] [--csv DIR]``
+    Run one experiment, print its paper-style table and the
+    paper-vs-measured verdicts, optionally dumping CSV.
+``all [--preset P] [--seed N] [--csv DIR]``
+    Run every experiment in index order (the full reproduction sweep
+    used to populate EXPERIMENTS.md).
+``report [--preset P] [--seed N] [--output PATH]``
+    Run every experiment and write the paper-vs-measured markdown
+    report (the file shipped as EXPERIMENTS.md).
+``simulate --dynamics D --n N --k K [...]``
+    One ad-hoc run to consensus with a per-round trajectory summary —
+    the quickest way to poke at a configuration.
+``dynamics``
+    List the registered dynamics specs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.comparison import render_comparisons_markdown
+from repro.core.registry import available_dynamics
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for '3-Majority and 2-Choices with "
+            "Many Opinions' (Shimizu & Shiraga, PODC 2025)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments")
+    sub.add_parser("dynamics", help="list registered dynamics")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+    _add_common(run_parser)
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    _add_common(all_parser)
+
+    report_parser = sub.add_parser(
+        "report", help="run everything and write EXPERIMENTS.md"
+    )
+    _add_common(report_parser)
+    report_parser.add_argument(
+        "--output",
+        default="EXPERIMENTS.md",
+        help="markdown file to write (default EXPERIMENTS.md)",
+    )
+
+    sim_parser = sub.add_parser(
+        "simulate", help="one ad-hoc run to consensus"
+    )
+    sim_parser.add_argument(
+        "--dynamics", default="3-majority", help="dynamics spec"
+    )
+    sim_parser.add_argument("--n", type=int, required=True)
+    sim_parser.add_argument("--k", type=int, required=True)
+    sim_parser.add_argument(
+        "--config",
+        default="balanced",
+        choices=["balanced", "zipf"],
+        help="initial configuration family",
+    )
+    sim_parser.add_argument("--seed", type=int, default=0)
+    sim_parser.add_argument(
+        "--max-rounds", type=int, default=1_000_000
+    )
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        help="parameter preset (quick or paper; default quick)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="root seed (default 0)"
+    )
+    parser.add_argument(
+        "--csv",
+        default=None,
+        metavar="DIR",
+        help="also write <DIR>/<experiment>.csv",
+    )
+
+
+def _print_result(result, csv_dir: str | None) -> None:
+    print(result.table())
+    if result.notes:
+        print(f"note: {result.notes}\n")
+    if result.comparisons:
+        print(render_comparisons_markdown(result.comparisons))
+    if csv_dir:
+        path = result.save_csv(csv_dir)
+        print(f"csv written to {path}")
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            module = EXPERIMENTS[experiment_id]
+            presets = ", ".join(sorted(module.PRESETS))
+            print(f"{experiment_id:8s} {module.TITLE}  [presets: {presets}]")
+        return 0
+    if args.command == "dynamics":
+        for name in available_dynamics():
+            print(name)
+        print("<h>-majority (e.g. 5-majority)")
+        return 0
+    if args.command == "run":
+        started = time.perf_counter()
+        result = run_experiment(
+            args.experiment_id, preset=args.preset, seed=args.seed
+        )
+        _print_result(result, args.csv)
+        print(f"elapsed: {time.perf_counter() - started:.1f}s")
+        return 0 if result.all_match else 1
+    if args.command == "all":
+        any_mismatch = False
+        for experiment_id in EXPERIMENTS:
+            started = time.perf_counter()
+            result = run_experiment(
+                experiment_id, preset=args.preset, seed=args.seed
+            )
+            _print_result(result, args.csv)
+            print(
+                f"[{experiment_id}] elapsed: "
+                f"{time.perf_counter() - started:.1f}s\n"
+            )
+            any_mismatch |= any(
+                c.verdict == "mismatch" for c in result.comparisons
+            )
+        return 1 if any_mismatch else 0
+    if args.command == "report":
+        return _report(args)
+    if args.command == "simulate":
+        return _simulate(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _report(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis.reporting import render_experiments_markdown
+
+    results = []
+    elapsed: dict[str, float] = {}
+    for experiment_id in EXPERIMENTS:
+        started = time.perf_counter()
+        result = run_experiment(
+            experiment_id, preset=args.preset, seed=args.seed
+        )
+        elapsed[experiment_id] = time.perf_counter() - started
+        print(
+            f"[{experiment_id}] done in {elapsed[experiment_id]:.1f}s"
+        )
+        if args.csv:
+            result.save_csv(args.csv)
+        results.append(result)
+    body = render_experiments_markdown(
+        results, preset=args.preset, elapsed=elapsed
+    )
+    Path(args.output).write_text(body)
+    print(f"report written to {args.output}")
+    mismatch = any(
+        c.verdict == "mismatch"
+        for result in results
+        for c in result.comparisons
+    )
+    return 1 if mismatch else 0
+
+
+def _simulate(args) -> int:
+    from repro.configs import balanced, zipf
+    from repro.core.registry import make_dynamics
+    from repro.engine import (
+        PopulationEngine,
+        TrajectoryRecorder,
+        run_until_consensus,
+    )
+
+    dynamics = make_dynamics(args.dynamics)
+    make_config = {"balanced": balanced, "zipf": zipf}[args.config]
+    counts = make_config(args.n, args.k)
+    recorder = TrajectoryRecorder(record_max_alpha=True)
+    engine = PopulationEngine(dynamics, counts, seed=args.seed)
+    started = time.perf_counter()
+    result = run_until_consensus(
+        engine, max_rounds=args.max_rounds, observers=(recorder,)
+    )
+    wall = time.perf_counter() - started
+    arrays = recorder.as_arrays()
+    checkpoints = sorted(
+        {0, len(arrays["round"]) - 1}
+        | {len(arrays["round"]) * p // 4 for p in (1, 2, 3)}
+    )
+    print(
+        f"{dynamics.name} on n={args.n:,}, k={args.k} "
+        f"({args.config} start), seed={args.seed}"
+    )
+    for pos in checkpoints:
+        print(
+            f"  round {arrays['round'][pos]:>8d}: "
+            f"gamma={arrays['gamma'][pos]:.5f} "
+            f"alive={arrays['alive'][pos]:>6d} "
+            f"leader={arrays['max_alpha'][pos]:.3f}"
+        )
+    if result.converged:
+        print(
+            f"consensus on opinion {result.winner} after "
+            f"{result.rounds} rounds ({wall:.2f}s wall-clock)"
+        )
+        return 0
+    print(
+        f"no consensus within {args.max_rounds} rounds "
+        f"({wall:.2f}s wall-clock)"
+    )
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

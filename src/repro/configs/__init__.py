@@ -1,0 +1,21 @@
+"""Initial-configuration generators keyed to the paper's hypotheses."""
+
+from repro.configs.initial import (
+    balanced,
+    biased,
+    custom,
+    dirichlet_random,
+    geometric_gamma,
+    two_block,
+    zipf,
+)
+
+__all__ = [
+    "balanced",
+    "biased",
+    "custom",
+    "dirichlet_random",
+    "geometric_gamma",
+    "two_block",
+    "zipf",
+]

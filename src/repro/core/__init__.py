@@ -1,0 +1,32 @@
+"""Consensus dynamics: the paper's objects of study plus baselines.
+
+* :class:`ThreeMajority`, :class:`TwoChoices` — the two dynamics whose
+  consensus time the paper pins down (Theorem 1.1);
+* :class:`HMajority`, :class:`UndecidedStateDynamics` — the Section 2.5
+  extensions;
+* :class:`Voter`, :class:`MedianRule` — baselines from the related work.
+"""
+
+from repro.core.base import Dynamics
+from repro.core.h_majority import HMajority
+from repro.core.median import MedianRule
+from repro.core.registry import available_dynamics, make_dynamics
+from repro.core.three_majority import ThreeMajority, three_majority_law
+from repro.core.two_choices import TwoChoices, two_choices_law
+from repro.core.undecided import UndecidedStateDynamics, with_undecided_slot
+from repro.core.voter import Voter
+
+__all__ = [
+    "Dynamics",
+    "HMajority",
+    "MedianRule",
+    "ThreeMajority",
+    "TwoChoices",
+    "UndecidedStateDynamics",
+    "Voter",
+    "available_dynamics",
+    "make_dynamics",
+    "three_majority_law",
+    "two_choices_law",
+    "with_undecided_slot",
+]

@@ -1,0 +1,184 @@
+"""Dynamics interface.
+
+A *dynamics* (paper Definition 3.1) is the per-round update rule of a
+synchronous consensus process.  Every dynamics in this library implements
+three views of the same Markov chain:
+
+``population_step``
+    The exact count-vector transition on the complete graph with
+    self-loops.  Because vertices there are exchangeable and update
+    independently given the round-(t-1) configuration, the count vector is
+    a sufficient statistic and one round can be sampled *exactly* from
+    closed-form per-vertex laws (paper eqs. (5) and (6)) — typically a
+    handful of multinomial draws, independent of ``n``.  This is what
+    makes ``n = 10^7`` experiments laptop-feasible.
+
+``agent_step``
+    The per-vertex transition on an arbitrary
+    :class:`~repro.graphs.base.Graph`.  O(n) per round, but the only
+    option off the complete graph.  On the complete graph it must agree
+    in distribution with ``population_step`` (tests enforce this).
+
+``async_population_step``
+    One tick of the asynchronous variant ([CMRSS25]): a single uniformly
+    random vertex re-samples its opinion.  ``n`` async ticks correspond to
+    one synchronous round.
+
+Subclasses additionally expose ``expected_alpha_next`` so that the theory
+module and tests can check the one-step mean formulas of Lemma 4.1 against
+Monte-Carlo estimates.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.state import validate_counts
+from repro.errors import StateError
+from repro.graphs.base import Graph
+
+__all__ = ["Dynamics", "multinomial_counts", "sample_opinions_from_counts"]
+
+
+def multinomial_counts(
+    n: int, probabilities: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``Multinomial(n, probabilities)`` with defensive normalisation.
+
+    Floating-point round-off can leave ``probabilities`` summing to
+    ``1 ± 1e-16``; numpy's ``multinomial`` rejects sums above 1, so we
+    renormalise.  A sum that is materially different from 1 indicates a
+    bug in the caller's transition law and raises.
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    total = p.sum()
+    if not 0.999999 < total < 1.000001:
+        raise StateError(
+            f"transition probabilities sum to {total!r}, expected 1"
+        )
+    return rng.multinomial(n, p / total).astype(np.int64)
+
+
+def sample_opinions_from_counts(
+    counts: np.ndarray,
+    size: tuple[int, ...] | int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample i.i.d. opinions of uniformly random vertices.
+
+    On the complete graph with self-loops, "the opinion of a random
+    neighbour" is exactly an i.i.d. draw from ``alpha = counts / n``;
+    all population-level agent-style sampling funnels through here.
+    """
+    alpha = np.asarray(counts, dtype=np.float64)
+    alpha = alpha / alpha.sum()
+    return rng.choice(alpha.size, size=size, p=alpha)
+
+
+class Dynamics(abc.ABC):
+    """Abstract synchronous consensus dynamics."""
+
+    #: Short machine name used by the registry and experiment tables.
+    name: str = "abstract"
+
+    #: Number of neighbour samples each vertex draws per synchronous round
+    #: (3 for 3-Majority, 2 for 2-Choices, h for h-Majority, 1 for Voter).
+    samples_per_round: int = 0
+
+    # ------------------------------------------------------------------
+    # Exact population-level chain (complete graph with self-loops)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def population_step(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample the next count vector exactly.
+
+        ``counts`` is a validated int64 vector; implementations must
+        return a fresh int64 vector of the same length and total mass.
+        """
+
+    # ------------------------------------------------------------------
+    # Agent-level chain (any graph)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def agent_step(
+        self,
+        opinions: np.ndarray,
+        graph: Graph,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sample every vertex's next opinion simultaneously."""
+
+    # ------------------------------------------------------------------
+    # Asynchronous chain (complete graph with self-loops)
+    # ------------------------------------------------------------------
+    def async_population_step(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One asynchronous tick: a single random vertex updates.
+
+        The default implementation draws the updating vertex's current
+        opinion from ``alpha`` and its new opinion from
+        :meth:`single_vertex_law`, then moves one unit of mass.  The input
+        array is modified in place and returned (hot path for ~n^1.5 tick
+        experiments).
+        """
+        n = int(counts.sum())
+        alpha = counts / n
+        old = int(rng.choice(counts.size, p=alpha))
+        law = self.single_vertex_law(alpha, old)
+        new = int(rng.choice(counts.size, p=law))
+        if new != old:
+            counts[old] -= 1
+            counts[new] += 1
+        return counts
+
+    def single_vertex_law(
+        self, alpha: np.ndarray, current_opinion: int
+    ) -> np.ndarray:
+        """Distribution of one vertex's next opinion given ``alpha``.
+
+        Subclasses for which the law has a closed form (eqs. (5), (6))
+        override this; the base class refuses so that dynamics without a
+        closed form fail loudly rather than silently approximating.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a closed-form "
+            "single-vertex law"
+        )
+
+    # ------------------------------------------------------------------
+    # Theory hooks
+    # ------------------------------------------------------------------
+    def expected_alpha_next(self, alpha: np.ndarray) -> np.ndarray:
+        """``E[alpha_t | alpha_{t-1}]`` where available (Lemma 4.1(i)).
+
+        Both 3-Majority and 2-Choices share the closed form
+        ``alpha * (1 + alpha - gamma)``; other dynamics override or
+        inherit this default NotImplementedError.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define expected_alpha_next"
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def validated_population_step(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Population step with input/output validation (slow path).
+
+        The engines validate once up front and then call
+        :meth:`population_step` directly; this wrapper exists for ad-hoc
+        interactive use.
+        """
+        checked = validate_counts(counts)
+        result = self.population_step(checked, rng)
+        return validate_counts(result, n=int(checked.sum()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,133 @@
+"""The h-Majority dynamics (paper Section 2.5 extension).
+
+Each vertex samples ``h`` uniformly random neighbours with replacement and
+adopts the most frequent opinion in the sample, with ties broken uniformly
+at random among the tied opinions.  ``h = 1`` reduces to the Voter model;
+``h = 3`` agrees in distribution with :class:`~repro.core.three_majority.
+ThreeMajority` (a property the tests verify).
+
+On the complete graph the next-opinion law is common to all vertices, so
+the population step draws each vertex's ``h`` samples from ``alpha``,
+computes the majority winner per vertex in a vectorised pass, and
+histograms the winners.  This costs O(n h^2) per round — not O(#alive)
+like 3-Majority's closed form, because the majority-of-h law has no
+polynomial-size sufficient statistic for general ``h`` — but remains exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Dynamics, sample_opinions_from_counts
+from repro.graphs.base import Graph
+
+__all__ = ["HMajority", "majority_winners"]
+
+
+def majority_winners(
+    samples: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Row-wise plurality winner with uniform random tie-breaking.
+
+    ``samples`` is an ``(n, h)`` array of opinion labels.  For each row,
+    returns the most frequent label; when several labels tie for the
+    maximum count, each tied label wins with equal probability.
+
+    Implementation: for each position ``a``, count how many positions in
+    the same row carry the same label (O(h^2) vectorised over rows), then
+    pick a uniformly random position among those achieving the row
+    maximum.  Positions holding a tied label are equinumerous (each tied
+    label occupies exactly ``max_count`` positions), so uniform-over-
+    positions equals uniform-over-tied-labels.
+    """
+    samples = np.asarray(samples)
+    n, h = samples.shape
+    occurrence = np.zeros((n, h), dtype=np.int32)
+    for a in range(h):
+        for b in range(h):
+            occurrence[:, a] += samples[:, a] == samples[:, b]
+    # Uniform tie-break: jitter each position by U(0,1) and take argmax.
+    # Ties between positions of the *same* label are harmless.
+    jitter = rng.random((n, h))
+    winner_pos = np.argmax(occurrence + jitter, axis=1)
+    return samples[np.arange(n), winner_pos]
+
+
+class HMajority(Dynamics):
+    """Majority-of-h dynamics with uniform random tie-breaking."""
+
+    def __init__(self, h: int) -> None:
+        if h < 1:
+            raise ValueError(f"h must be at least 1, got {h}")
+        self.h = int(h)
+        self.name = f"{self.h}-majority(sampled)"
+        self.samples_per_round = self.h
+
+    def population_step(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        alive = np.flatnonzero(counts)
+        if alive.size == 1:
+            return counts.copy()
+        n = int(counts.sum())
+        samples = sample_opinions_from_counts(
+            counts[alive], (n, self.h), rng
+        )
+        winners = majority_winners(samples, rng)
+        new_counts = np.zeros_like(counts)
+        new_counts[alive] = np.bincount(winners, minlength=alive.size)
+        return new_counts
+
+    def agent_step(
+        self,
+        opinions: np.ndarray,
+        graph: Graph,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        samples = opinions[graph.sample_neighbors(rng, self.h)]
+        return majority_winners(samples, rng)
+
+    def single_vertex_law(
+        self, alpha: np.ndarray, current_opinion: int
+    ) -> np.ndarray:
+        """Exact majority-of-h law by dynamic programming over counts.
+
+        Only intended for small ``h`` and small support (used by the
+        asynchronous engine and by tests); cost grows quickly with both.
+        For ``h <= 2`` closed forms are used.
+        """
+        alpha = np.asarray(alpha, dtype=np.float64)
+        if self.h == 1:
+            return alpha.copy()
+        support = np.flatnonzero(alpha > 0)
+        if support.size > 12 or self.h > 8:
+            raise NotImplementedError(
+                "exact h-majority law is exponential in the support size; "
+                f"support={support.size}, h={self.h} is too large"
+            )
+        law = np.zeros_like(alpha)
+        # Enumerate compositions of h over the support.
+        from itertools import product
+
+        from math import factorial
+
+        h = self.h
+        fact_h = factorial(h)
+        for combo in product(range(h + 1), repeat=support.size):
+            if sum(combo) != h:
+                continue
+            prob = fact_h
+            for c, idx in zip(combo, support):
+                prob *= alpha[idx] ** c / factorial(c)
+            top = max(combo)
+            winners = [
+                idx for c, idx in zip(combo, support) if c == top
+            ]
+            share = prob / len(winners)
+            for idx in winners:
+                law[idx] += share
+        return law
+
+    def expected_alpha_next(self, alpha: np.ndarray) -> np.ndarray:
+        """Exact mean via :meth:`single_vertex_law` (small supports only)."""
+        return self.single_vertex_law(np.asarray(alpha, dtype=np.float64), 0)

@@ -1,0 +1,108 @@
+"""The 3-Majority dynamics (paper Definition 3.1).
+
+Each vertex ``v`` picks three uniformly random neighbours ``w1, w2, w3``
+(with replacement, self-loops included).  If ``opn(w1) == opn(w2)`` the
+vertex adopts that opinion, otherwise it adopts ``opn(w3)``.  This
+"first-two-else-third" formulation is *exactly* majority-of-three with a
+uniformly random tie-break (checked in the test suite): when two of the
+three samples agree that opinion wins, and when all three differ the
+adopted opinion is a uniform sample among the three.
+
+On the complete graph with self-loops the per-vertex law is (paper eq. (5))
+
+    P[opn_t(v) = i]  =  alpha_i^2 + (1 - gamma) * alpha_i
+                     =  alpha_i * (1 + alpha_i - gamma),
+
+independent of ``v``'s current opinion, so a synchronous round of the
+whole system is a single draw ``Multinomial(n, p)`` — the population step
+is O(#alive opinions) regardless of ``n``.
+
+Main theorem being reproduced: consensus time ``~Theta(min{k, sqrt(n)})``
+(Theorem 1.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Dynamics, multinomial_counts
+from repro.graphs.base import Graph
+
+__all__ = ["ThreeMajority", "three_majority_law"]
+
+
+def three_majority_law(alpha: np.ndarray) -> np.ndarray:
+    """The common next-opinion distribution, paper eq. (5).
+
+    ``p_i = alpha_i (1 + alpha_i - gamma)`` with
+    ``gamma = sum_i alpha_i^2``.  Sums to 1 because
+    ``sum alpha_i + sum alpha_i^2 - gamma * sum alpha_i = 1``.
+    """
+    alpha = np.asarray(alpha, dtype=np.float64)
+    gamma = float(np.dot(alpha, alpha))
+    return alpha * (1.0 + alpha - gamma)
+
+
+class ThreeMajority(Dynamics):
+    """Synchronous 3-Majority on a complete graph or arbitrary graph."""
+
+    name = "3-majority"
+    samples_per_round = 3
+
+    def population_step(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n = int(counts.sum())
+        alive = np.flatnonzero(counts)
+        if alive.size == 1:
+            return counts.copy()
+        # Work on the alive support only: dead opinions have p_i = 0 and
+        # can never revive, so dropping them is exact and keeps late
+        # rounds (few survivors) O(1).
+        alpha = counts[alive] / n
+        gamma = float(np.dot(alpha, alpha))
+        law = alpha * (1.0 + alpha - gamma)
+        new_counts = np.zeros_like(counts)
+        new_counts[alive] = multinomial_counts(n, law, rng)
+        return new_counts
+
+    def agent_step(
+        self,
+        opinions: np.ndarray,
+        graph: Graph,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        samples = graph.sample_neighbors(rng, 3)
+        w1 = opinions[samples[:, 0]]
+        w2 = opinions[samples[:, 1]]
+        w3 = opinions[samples[:, 2]]
+        return np.where(w1 == w2, w1, w3)
+
+    def single_vertex_law(
+        self, alpha: np.ndarray, current_opinion: int
+    ) -> np.ndarray:
+        # The 3-Majority law does not depend on the current opinion.
+        return three_majority_law(alpha)
+
+    def async_population_step(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        # Specialised for speed: the new opinion is independent of the
+        # current one, so only the destination needs the full law.
+        n = int(counts.sum())
+        alive = np.flatnonzero(counts)
+        if alive.size == 1:
+            return counts
+        alpha = counts[alive] / n
+        gamma = float(np.dot(alpha, alpha))
+        law = alpha * (1.0 + alpha - gamma)
+        old = int(rng.choice(alive, p=alpha))
+        new = int(alive[rng.choice(alive.size, p=law / law.sum())])
+        if new != old:
+            counts[old] -= 1
+            counts[new] += 1
+        return counts
+
+    def expected_alpha_next(self, alpha: np.ndarray) -> np.ndarray:
+        """Lemma 4.1(i): ``E[alpha_t(i)] = alpha_i (1 + alpha_i - gamma)``."""
+        return three_majority_law(alpha)

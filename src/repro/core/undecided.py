@@ -1,0 +1,145 @@
+"""The Undecided-State Dynamics (USD), paper Section 2.5 open question.
+
+Each vertex samples one uniformly random neighbour per round.  A *decided*
+vertex that sees a different decided opinion becomes *undecided*; an
+*undecided* vertex adopts whatever it sees (possibly staying undecided).
+Formally, with ``u`` the sampled neighbour of ``v``:
+
+* ``opn(v) = undecided``                          -> ``opn'(v) = opn(u)``
+* ``opn(v) = i`` and ``opn(u) in {i, undecided}`` -> ``opn'(v) = i``
+* ``opn(v) = i`` and ``opn(u) = j != i`` decided  -> ``opn'(v) = undecided``
+
+The paper notes that the consensus time of USD with arbitrary
+``2 <= k <= n`` opinions is open; the extension experiments measure it
+empirically.
+
+State convention (both count vectors and agent labels): a configuration
+over ``k`` decided opinions lives on ``k + 1`` labels where the *last*
+label ``k`` is the undecided state.  Use :func:`with_undecided_slot` to
+lift an ordinary k-opinion count vector.  Consensus means one *decided*
+opinion holds everything; the all-undecided configuration is absorbing
+but unreachable from any decided start in practice, and shows up as a
+non-converged run if it ever occurs.
+
+Population step (complete graph with self-loops, exact): conditioned on
+round ``t-1``, with ``alpha_u`` the undecided fraction and ``alpha_i`` the
+decided fractions,
+
+* group ``i`` (decided): stays ``i`` w.p. ``alpha_i + alpha_u``, becomes
+  undecided otherwise — a binomial per group;
+* undecided group: next label ``~ alpha`` (including undecided) — one
+  multinomial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Dynamics, multinomial_counts
+from repro.errors import StateError
+from repro.graphs.base import Graph
+
+__all__ = ["UndecidedStateDynamics", "with_undecided_slot"]
+
+
+def with_undecided_slot(counts: np.ndarray) -> np.ndarray:
+    """Append an empty undecided slot to a k-opinion count vector."""
+    counts = np.asarray(counts, dtype=np.int64)
+    return np.concatenate([counts, [0]])
+
+
+class UndecidedStateDynamics(Dynamics):
+    """Synchronous undecided-state dynamics over ``k`` decided opinions.
+
+    Count vectors must have length ``k + 1``; agent vectors use label
+    ``k`` (the last one) for the undecided state.  The agent step infers
+    ``k`` from the engine's opinion-space size via the label maximum, so
+    construct :class:`~repro.engine.agent.AgentEngine` with
+    ``num_opinions = k + 1``.
+    """
+
+    name = "undecided"
+    samples_per_round = 1
+
+    def __init__(self, num_decided: int | None = None) -> None:
+        #: When given, fixes k so the agent step can locate the undecided
+        #: label even if no vertex currently holds it.
+        self.num_decided = num_decided
+
+    def population_step(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if counts.size < 2:
+            raise StateError(
+                "undecided dynamics needs a k+1 count vector (k >= 1)"
+            )
+        n = int(counts.sum())
+        k = counts.size - 1
+        alpha = counts / n
+        alpha_u = float(alpha[k])
+        new_counts = np.zeros_like(counts)
+        # Decided groups: stay with probability alpha_i + alpha_u.
+        decided = np.flatnonzero(counts[:k])
+        stay_prob = alpha[decided] + alpha_u
+        stayers = rng.binomial(counts[decided], stay_prob)
+        new_counts[decided] += stayers
+        new_counts[k] += int((counts[decided] - stayers).sum())
+        # Undecided group: adopt a uniformly random vertex's state.
+        undecided_count = int(counts[k])
+        if undecided_count:
+            adopted = multinomial_counts(undecided_count, alpha, rng)
+            new_counts += adopted
+        return new_counts
+
+    def _undecided_label(self, opinions: np.ndarray) -> int:
+        if self.num_decided is not None:
+            return int(self.num_decided)
+        return int(opinions.max())
+
+    def agent_step(
+        self,
+        opinions: np.ndarray,
+        graph: Graph,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        undecided = self._undecided_label(opinions)
+        seen = opinions[graph.sample_neighbors(rng, 1)[:, 0]]
+        undecided_now = opinions == undecided
+        clash = ~undecided_now & (seen != opinions) & (seen != undecided)
+        result = opinions.copy()
+        result[undecided_now] = seen[undecided_now]
+        result[clash] = undecided
+        return result
+
+    def single_vertex_law(
+        self, alpha: np.ndarray, current_opinion: int
+    ) -> np.ndarray:
+        """Law over the ``k + 1`` labels for one vertex.
+
+        ``current_opinion = k`` (the last index) means undecided.
+        """
+        alpha = np.asarray(alpha, dtype=np.float64)
+        k = alpha.size - 1
+        law = np.zeros_like(alpha)
+        if current_opinion == k:
+            return alpha.copy()
+        stay = alpha[current_opinion] + alpha[k]
+        law[current_opinion] = stay
+        law[k] = 1.0 - stay
+        return law
+
+    def expected_alpha_next(self, alpha: np.ndarray) -> np.ndarray:
+        """Exact one-step mean over the ``k + 1`` labels.
+
+        decided i: stayers ``alpha_i (alpha_i + alpha_u)`` plus converts
+        from the undecided pool ``alpha_u alpha_i``; undecided gets the
+        complement.
+        """
+        alpha = np.asarray(alpha, dtype=np.float64)
+        k = alpha.size - 1
+        alpha_u = alpha[k]
+        expected = np.empty_like(alpha)
+        decided = alpha[:k]
+        expected[:k] = decided * (decided + alpha_u) + alpha_u * decided
+        expected[k] = 1.0 - expected[:k].sum()
+        return expected

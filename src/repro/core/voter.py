@@ -1,0 +1,54 @@
+"""The Voter model — the simplest pull baseline.
+
+Each vertex adopts the opinion of one uniformly random neighbour.  On the
+complete graph the expected fractions are a martingale
+(``E[alpha_t] = alpha_{t-1}``), so consensus is driven purely by drift of
+the variance and takes ``Theta(n)`` rounds — far slower than 3-Majority
+and 2-Choices.  The baseline experiments use it to show *why* the paper's
+dynamics matter: three samples beat one by an exponential margin in n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Dynamics, multinomial_counts
+from repro.graphs.base import Graph
+
+__all__ = ["Voter"]
+
+
+class Voter(Dynamics):
+    """Synchronous Voter model (adopt one random neighbour's opinion)."""
+
+    name = "voter"
+    samples_per_round = 1
+
+    def population_step(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        alive = np.flatnonzero(counts)
+        if alive.size == 1:
+            return counts.copy()
+        n = int(counts.sum())
+        alpha = counts[alive] / n
+        new_counts = np.zeros_like(counts)
+        new_counts[alive] = multinomial_counts(n, alpha, rng)
+        return new_counts
+
+    def agent_step(
+        self,
+        opinions: np.ndarray,
+        graph: Graph,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return opinions[graph.sample_neighbors(rng, 1)[:, 0]]
+
+    def single_vertex_law(
+        self, alpha: np.ndarray, current_opinion: int
+    ) -> np.ndarray:
+        return np.asarray(alpha, dtype=np.float64).copy()
+
+    def expected_alpha_next(self, alpha: np.ndarray) -> np.ndarray:
+        """The voter fractions are a martingale: ``E[alpha_t] = alpha``."""
+        return np.asarray(alpha, dtype=np.float64).copy()

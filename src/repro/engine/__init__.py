@@ -1,0 +1,65 @@
+"""Simulation engines and run control.
+
+* :class:`PopulationEngine` — exact count-vector chain on the complete
+  graph with self-loops (the paper's setting);
+* :class:`AgentEngine` — per-vertex chain on arbitrary graphs;
+* :class:`AsyncPopulationEngine` — one-vertex-per-tick chain
+  ([CMRSS25] model);
+* :func:`run_until_consensus` / :func:`replicate` — run control.
+"""
+
+from repro.engine.agent import AgentEngine
+from repro.engine.asynchronous import AsyncPopulationEngine
+from repro.engine.callbacks import (
+    FunctionObserver,
+    Observer,
+    TrajectoryRecorder,
+)
+from repro.engine.population import PopulationEngine
+from repro.engine.runner import RunResult, replicate, run_until_consensus
+from repro.seeding import (
+    RandomState,
+    as_generator,
+    as_seed_sequence,
+    spawn_generators,
+)
+from repro.state import (
+    agents_to_counts,
+    alpha_from_counts,
+    bias,
+    consensus_opinion,
+    counts_to_agents,
+    gamma_from_counts,
+    is_consensus,
+    num_alive,
+    support,
+    validate_agents,
+    validate_counts,
+)
+
+__all__ = [
+    "AgentEngine",
+    "AsyncPopulationEngine",
+    "FunctionObserver",
+    "Observer",
+    "PopulationEngine",
+    "RandomState",
+    "RunResult",
+    "TrajectoryRecorder",
+    "agents_to_counts",
+    "alpha_from_counts",
+    "as_generator",
+    "as_seed_sequence",
+    "bias",
+    "consensus_opinion",
+    "counts_to_agents",
+    "gamma_from_counts",
+    "is_consensus",
+    "num_alive",
+    "replicate",
+    "run_until_consensus",
+    "spawn_generators",
+    "support",
+    "validate_agents",
+    "validate_counts",
+]

@@ -1,0 +1,106 @@
+"""Exact population-level (count-vector) engine.
+
+On the complete graph with self-loops the vertices are exchangeable and,
+conditioned on the previous round, update independently — so the count
+vector is a sufficient statistic and the dynamics' ``population_step``
+samples the next configuration *exactly* (see paper eqs. (5), (6)).  This
+engine therefore simulates the same Markov chain as the agent-level engine
+on :class:`~repro.graphs.complete.CompleteGraph`, at cost independent of
+``n`` for 3-Majority and O(min(a^2, n)) for 2-Choices.
+
+Use :class:`~repro.engine.agent.AgentEngine` for any other graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Dynamics
+from repro.seeding import RandomState, as_generator
+from repro.state import (
+    consensus_opinion,
+    gamma_from_counts,
+    is_consensus,
+    num_alive,
+    validate_counts,
+)
+
+__all__ = ["PopulationEngine"]
+
+
+class PopulationEngine:
+    """Step a dynamics on the complete graph with self-loops, exactly.
+
+    Parameters
+    ----------
+    dynamics:
+        Any :class:`~repro.core.base.Dynamics`.
+    counts:
+        Initial configuration as a per-opinion count vector.
+    seed:
+        Anything accepted by :func:`repro.seeding.as_generator`.
+
+    Attributes
+    ----------
+    counts:
+        Current configuration (int64 array, owned by the engine).
+    round_index:
+        Number of synchronous rounds executed so far.
+    """
+
+    def __init__(
+        self,
+        dynamics: Dynamics,
+        counts: np.ndarray,
+        seed: RandomState = None,
+    ) -> None:
+        self.dynamics = dynamics
+        self.counts = validate_counts(counts).copy()
+        self.num_vertices = int(self.counts.sum())
+        self.num_opinions = int(self.counts.size)
+        self.rng = as_generator(seed)
+        self.round_index = 0
+
+    def step(self) -> np.ndarray:
+        """Execute one synchronous round; returns the new count vector."""
+        self.counts = self.dynamics.population_step(self.counts, self.rng)
+        self.round_index += 1
+        return self.counts
+
+    def run(self, rounds: int) -> np.ndarray:
+        """Execute exactly ``rounds`` rounds (no early stopping)."""
+        for _ in range(rounds):
+            self.step()
+        return self.counts
+
+    # ------------------------------------------------------------------
+    # Inspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def alpha(self) -> np.ndarray:
+        """Current fractional populations."""
+        return self.counts / self.num_vertices
+
+    @property
+    def gamma(self) -> float:
+        """Current squared l2-norm ``gamma_t`` (Definition 3.2(iii))."""
+        return gamma_from_counts(self.counts)
+
+    @property
+    def alive(self) -> int:
+        """Number of surviving opinions."""
+        return num_alive(self.counts)
+
+    def is_consensus(self) -> bool:
+        """True once a single opinion holds every vertex."""
+        return is_consensus(self.counts)
+
+    def winner(self) -> int | None:
+        """Winning opinion at consensus, else ``None``."""
+        return consensus_opinion(self.counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PopulationEngine({self.dynamics.name}, n={self.num_vertices}, "
+            f"k={self.num_opinions}, round={self.round_index})"
+        )

@@ -1,0 +1,149 @@
+"""Run control: run-to-consensus, stopping predicates, replication.
+
+The paper's central observable is the *consensus time* ``tau_cons``
+(Definition 3.1): the first round at which all vertices support one
+opinion.  :func:`run_until_consensus` measures it for any engine exposing
+``step() / counts / round_index``; :func:`replicate` repeats a run factory
+across independent seed streams and collects the results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.callbacks import Observer
+from repro.seeding import RandomState, spawn_generators
+from repro.state import consensus_opinion, is_consensus
+from repro.errors import ConfigurationError, ConsensusNotReached
+
+__all__ = ["RunResult", "replicate", "run_until_consensus"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a single run.
+
+    Attributes
+    ----------
+    converged:
+        True when consensus (or the caller's ``target`` predicate) was
+        reached within the round budget.
+    rounds:
+        Rounds executed.  Equal to the consensus time when
+        ``converged`` and the default predicate were used.
+    winner:
+        Winning opinion at consensus, else ``None``.
+    final_counts:
+        Configuration when the run stopped.
+    metrics:
+        Free-form extras attached by callers (e.g. recorded series).
+    """
+
+    converged: bool
+    rounds: int
+    winner: int | None
+    final_counts: np.ndarray
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def consensus_time(self) -> int | None:
+        """Rounds to consensus, or ``None`` if the run did not converge."""
+        return self.rounds if self.converged else None
+
+
+def run_until_consensus(
+    engine,
+    max_rounds: int,
+    observers: Sequence[Observer] = (),
+    target: Callable[[np.ndarray], bool] | None = None,
+    on_budget: str = "return",
+) -> RunResult:
+    """Advance ``engine`` until consensus or a round budget.
+
+    Parameters
+    ----------
+    engine:
+        Any object with ``step()``, ``counts`` and ``round_index`` —
+        i.e. :class:`~repro.engine.population.PopulationEngine` or
+        :class:`~repro.engine.agent.AgentEngine` (the asynchronous engine
+        has its own tick-based loop).
+    max_rounds:
+        Hard budget on rounds executed by *this call*.
+    observers:
+        Observers notified with the initial configuration and after every
+        round.
+    target:
+        Optional alternative stopping predicate on the count vector; the
+        default stops at consensus.  When provided, ``converged`` in the
+        result reflects this predicate instead.
+    on_budget:
+        ``"return"`` (default) returns a result with
+        ``converged=False`` when the budget runs out; ``"raise"`` raises
+        :class:`~repro.errors.ConsensusNotReached`.
+    """
+    if max_rounds < 0:
+        raise ConfigurationError(
+            f"max_rounds must be non-negative, got {max_rounds}"
+        )
+    if on_budget not in ("return", "raise"):
+        raise ConfigurationError(
+            f"on_budget must be 'return' or 'raise', got {on_budget!r}"
+        )
+    done = target if target is not None else is_consensus
+
+    counts = engine.counts
+    for obs in observers:
+        obs.observe(engine.round_index, counts)
+    if done(counts):
+        return RunResult(
+            converged=True,
+            rounds=engine.round_index,
+            winner=consensus_opinion(counts),
+            final_counts=np.asarray(counts).copy(),
+        )
+
+    for _ in range(max_rounds):
+        engine.step()
+        counts = engine.counts
+        for obs in observers:
+            obs.observe(engine.round_index, counts)
+        if done(counts):
+            return RunResult(
+                converged=True,
+                rounds=engine.round_index,
+                winner=consensus_opinion(counts),
+                final_counts=np.asarray(counts).copy(),
+            )
+
+    if on_budget == "raise":
+        raise ConsensusNotReached(engine.round_index)
+    return RunResult(
+        converged=False,
+        rounds=engine.round_index,
+        winner=None,
+        final_counts=np.asarray(counts).copy(),
+    )
+
+
+def replicate(
+    run_factory: Callable[[np.random.Generator], RunResult],
+    num_runs: int,
+    seed: RandomState = None,
+) -> list[RunResult]:
+    """Execute ``num_runs`` independent runs with spawned seed streams.
+
+    ``run_factory(rng)`` builds and executes one run end-to-end (typically
+    constructing an engine around the given generator and calling
+    :func:`run_until_consensus`).  Replica ``i`` always receives child
+    stream ``i`` of ``seed``, so results are order-independent and
+    reproducible.
+    """
+    if num_runs < 1:
+        raise ConfigurationError(
+            f"num_runs must be at least 1, got {num_runs}"
+        )
+    generators = spawn_generators(seed, num_runs)
+    return [run_factory(rng) for rng in generators]

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single type at the API boundary.  More specific
+subclasses distinguish configuration mistakes (bad parameters) from runtime
+conditions (e.g. a run that hit its round budget without reaching consensus
+when the caller demanded consensus).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or inconsistent combination of parameters.
+
+    Raised eagerly at construction time so that long simulations never fail
+    halfway through because of a typo in the inputs.
+    """
+
+
+class StateError(ReproError, ValueError):
+    """An opinion configuration violates a structural invariant.
+
+    Examples: negative counts, counts that do not sum to ``n``, an agent
+    vector referencing an opinion outside ``[0, k)``.
+    """
+
+
+class ConsensusNotReached(ReproError, RuntimeError):
+    """A run exhausted its round budget before reaching consensus.
+
+    Only raised when the caller explicitly requested
+    ``on_budget='raise'``; the default behaviour is to return a result
+    flagged as not converged.
+    """
+
+    def __init__(self, rounds: int, message: str | None = None) -> None:
+        self.rounds = rounds
+        super().__init__(
+            message or f"consensus not reached within {rounds} rounds"
+        )
+
+
+class GraphError(ReproError, ValueError):
+    """A graph substrate is malformed (e.g. a vertex with no neighbours)."""

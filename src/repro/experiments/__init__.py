@@ -1,0 +1,28 @@
+"""Experiment harness: one module per paper table/figure/theorem.
+
+See DESIGN.md for the experiment index; run any experiment with
+
+    python -m repro run <id> [--preset quick|paper] [--seed N]
+
+or programmatically via
+:func:`repro.experiments.registry.run_experiment`.
+"""
+
+from repro.experiments import (  # noqa: F401 (re-exported submodules)
+    adversary,
+    async_majority,
+    fig1,
+    fig2_pipeline,
+    lem41,
+    rem25,
+    table1,
+    thm11,
+    thm21,
+    thm22,
+    thm26,
+    thm27,
+    extensions,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

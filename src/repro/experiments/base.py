@@ -1,0 +1,117 @@
+"""Experiment framework: results, presets, shared measurement helpers.
+
+Each experiment module (one per paper table/figure/theorem; see
+DESIGN.md's experiment index) exposes
+
+* ``PRESETS`` — a dict of named parameter sets.  ``"quick"`` runs in
+  seconds (used by the benchmarks and CI); ``"paper"`` uses sizes large
+  enough for the asymptotic shapes to be unambiguous (used to fill
+  EXPERIMENTS.md);
+* ``run(preset="quick", seed=0) -> ExperimentResult``.
+
+Results carry the printed table rows *and* machine-checkable
+:class:`~repro.analysis.comparison.ComparisonRecord` verdicts, so both
+the benchmarks' assertions and EXPERIMENTS.md are generated from the same
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.comparison import ComparisonRecord
+from repro.analysis.tables import format_table, write_csv
+from repro.core.base import Dynamics
+from repro.engine.population import PopulationEngine
+from repro.engine.runner import RunResult, replicate, run_until_consensus
+from repro.seeding import RandomState
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ExperimentResult",
+    "measure_consensus_times",
+    "run_population",
+    "require_preset",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produces.
+
+    ``rows`` are the series the paper's artefact reports (one list per
+    printed line); ``comparisons`` hold the paper-vs-measured verdicts.
+    """
+
+    experiment_id: str
+    title: str
+    preset: str
+    headers: list[str]
+    rows: list[list]
+    comparisons: list[ComparisonRecord] = field(default_factory=list)
+    notes: str = ""
+
+    def table(self) -> str:
+        """Render the result as the paper-style ASCII table."""
+        return format_table(
+            self.headers,
+            self.rows,
+            title=f"[{self.experiment_id}] {self.title} "
+            f"(preset={self.preset})",
+        )
+
+    def save_csv(self, directory: str | Path) -> Path:
+        """Dump the rows as ``<directory>/<experiment_id>.csv``."""
+        return write_csv(
+            Path(directory) / f"{self.experiment_id}.csv",
+            self.headers,
+            self.rows,
+        )
+
+    @property
+    def all_match(self) -> bool:
+        """True when every comparison verdict is ``"match"``."""
+        return all(c.verdict == "match" for c in self.comparisons)
+
+
+def require_preset(presets: dict, name: str) -> dict:
+    """Fetch a preset by name with a helpful error."""
+    try:
+        return dict(presets[name])
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; available: {sorted(presets)}"
+        ) from None
+
+
+def run_population(
+    dynamics: Dynamics,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    max_rounds: int,
+    observers=(),
+) -> RunResult:
+    """One population run to consensus (or budget) with a given stream."""
+    engine = PopulationEngine(dynamics, counts, seed=rng)
+    return run_until_consensus(
+        engine, max_rounds=max_rounds, observers=observers
+    )
+
+
+def measure_consensus_times(
+    dynamics: Dynamics,
+    counts: np.ndarray,
+    num_runs: int,
+    max_rounds: int,
+    seed: RandomState = None,
+) -> list[RunResult]:
+    """Replicate a population run; shared by most experiments."""
+    frozen = np.asarray(counts, dtype=np.int64).copy()
+
+    def factory(rng: np.random.Generator) -> RunResult:
+        return run_population(dynamics, frozen, rng, max_rounds)
+
+    return replicate(factory, num_runs=num_runs, seed=seed)

@@ -1,0 +1,179 @@
+"""Experiment ``fig1`` — Figure 1: consensus-time exponents vs. k.
+
+Figure 1 of the paper contrasts the *prior* upper-bound exponent curves
+(panel a) with *this work's* (panel b), as functions of
+``kappa = log_n k``, ignoring polylogs:
+
+* 3-Majority, prior: exponent ``kappa`` up to ``1/3``, then ``2/3``;
+  this work: ``min(kappa, 1/2)``.
+* 2-Choices, prior: exponent ``kappa`` up to ``1/2``, then *no bound*;
+  this work: ``kappa`` everywhere.
+
+The reproduction measures the consensus time from the balanced
+configuration on a ``kappa`` grid at fixed ``n`` and reports, per grid
+point, the measured median time, the measured local exponent
+(``log T / log n``) and the three predicted curves.  The shape checks
+are: (i) the measured exponent tracks this work's curve within a polylog
+allowance and (ii) for 3-Majority the curve flattens past
+``kappa = 1/2`` while for 2-Choices it keeps rising.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.comparison import ComparisonRecord
+from repro.analysis.estimators import consensus_times
+from repro.configs.initial import balanced
+from repro.core.registry import make_dynamics
+from repro.seeding import as_seed_sequence
+from repro.experiments.base import (
+    ExperimentResult,
+    measure_consensus_times,
+    require_preset,
+)
+from repro.theory.bounds import (
+    exponent_curve_prior,
+    exponent_curve_this_work,
+)
+
+EXPERIMENT_ID = "fig1"
+TITLE = "Figure 1: consensus-time exponent vs kappa = log_n k"
+
+PRESETS = {
+    "micro": {
+        "n": 256,
+        "kappas": (0.3, 0.6),
+        "num_runs": 2,
+        "budget_factor": 40.0,
+    },
+    "quick": {
+        "n": 2048,
+        "kappas": (0.2, 0.35, 0.5, 0.65, 0.8),
+        "num_runs": 3,
+        "budget_factor": 40.0,
+    },
+    "paper": {
+        "n": 16384,
+        "kappas": (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+        "num_runs": 3,
+        "budget_factor": 60.0,
+    },
+}
+
+
+def run(preset: str = "quick", seed: int = 0) -> ExperimentResult:
+    params = require_preset(PRESETS, preset)
+    n = params["n"]
+    log_n = math.log(n)
+    root = as_seed_sequence(seed)
+    rows: list[list] = []
+    measured_exponents: dict[str, list[tuple[float, float]]] = {
+        "3-majority": [],
+        "2-choices": [],
+    }
+    for dyn_name in ("3-majority", "2-choices"):
+        dynamics = make_dynamics(dyn_name)
+        for kappa in params["kappas"]:
+            k = max(2, int(round(n**kappa)))
+            budget = int(
+                params["budget_factor"]
+                * (min(k, math.sqrt(n)) if dyn_name == "3-majority" else k)
+                * log_n
+            )
+            (child,) = root.spawn(1)
+            results = measure_consensus_times(
+                dynamics,
+                balanced(n, k),
+                num_runs=params["num_runs"],
+                max_rounds=budget,
+                seed=child,
+            )
+            times = consensus_times(results)
+            if times.size == 0:
+                median_time = float("nan")
+                exponent = float("nan")
+            else:
+                median_time = float(np.median(times))
+                exponent = math.log(max(median_time, 1.0)) / log_n
+                measured_exponents[dyn_name].append((kappa, exponent))
+            prior = exponent_curve_prior(dyn_name, kappa)
+            rows.append(
+                [
+                    dyn_name,
+                    k,
+                    round(kappa, 3),
+                    median_time,
+                    round(exponent, 3),
+                    exponent_curve_this_work(dyn_name, kappa),
+                    prior if prior is not None else "none",
+                ]
+            )
+
+    comparisons = _shape_checks(measured_exponents, log_n)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        preset=preset,
+        headers=[
+            "dynamics",
+            "k",
+            "kappa",
+            "median T_cons",
+            "measured exp",
+            "this-work exp",
+            "prior exp",
+        ],
+        rows=rows,
+        comparisons=comparisons,
+        notes=(
+            "Measured exponent = log(median T) / log(n); polylog factors "
+            "inflate it above the clean curve at small n, so shape checks "
+            "compare *differences across kappa*, not absolute levels."
+        ),
+    )
+
+
+def _shape_checks(
+    measured: dict[str, list[tuple[float, float]]], log_n: float
+) -> list[ComparisonRecord]:
+    """Verdicts: 3-Majority flattens past 1/2; 2-Choices keeps rising."""
+    records: list[ComparisonRecord] = []
+    # Allowance for the polylog factor: log log-scale wiggle.
+    slack = 2.0 * math.log(log_n) / log_n
+
+    maj = sorted(measured["3-majority"])
+    if len(maj) >= 3:
+        below = [e for kappa, e in maj if kappa <= 0.5]
+        above = [e for kappa, e in maj if kappa > 0.5]
+        if below and above:
+            flattening = max(above) <= max(below) + slack
+            records.append(
+                ComparisonRecord(
+                    EXPERIMENT_ID,
+                    "3-Majority exponent flattens at kappa = 1/2 "
+                    "(T = ~Theta(min{k, sqrt n}))",
+                    f"max exponent above 1/2: {max(above):.3f} vs "
+                    f"below: {max(below):.3f} (slack {slack:.3f})",
+                    "match" if flattening else "mismatch",
+                )
+            )
+    cho = sorted(measured["2-choices"])
+    if len(cho) >= 3:
+        first_half = [e for kappa, e in cho if kappa <= 0.5]
+        second_half = [e for kappa, e in cho if kappa > 0.5]
+        if first_half and second_half:
+            rising = min(second_half) >= max(first_half) - slack
+            records.append(
+                ComparisonRecord(
+                    EXPERIMENT_ID,
+                    "2-Choices exponent keeps rising past kappa = 1/2 "
+                    "(T = ~Theta(k), no plateau)",
+                    f"min exponent above 1/2: {min(second_half):.3f} vs "
+                    f"max below: {max(first_half):.3f}",
+                    "match" if rising else "mismatch",
+                )
+            )
+    return records

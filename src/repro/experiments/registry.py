@@ -1,0 +1,62 @@
+"""Registry mapping experiment ids to their modules.
+
+The ids match DESIGN.md's experiment index and the benchmark targets.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    adversary,
+    async_majority,
+    fig1,
+    fig2_pipeline,
+    lem41,
+    rem25,
+    table1,
+    thm11,
+    thm21,
+    thm22,
+    thm26,
+    thm27,
+    extensions,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+EXPERIMENTS: dict[str, ModuleType] = {
+    "fig1": fig1,
+    "table1": table1,
+    "fig2": fig2_pipeline,
+    "thm11": thm11,
+    "thm21": thm21,
+    "thm22": thm22,
+    "thm26": thm26,
+    "thm27": thm27,
+    "lem41": lem41,
+    "rem25": rem25,
+    "async": async_majority,
+    "adv": adversary,
+    "ext": extensions,
+}
+
+
+def get_experiment(experiment_id: str) -> ModuleType:
+    """Look up an experiment module by id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            + ", ".join(sorted(EXPERIMENTS))
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, preset: str = "quick", seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment end to end."""
+    return get_experiment(experiment_id).run(preset=preset, seed=seed)

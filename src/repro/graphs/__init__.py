@@ -1,0 +1,31 @@
+"""Graph substrates for consensus dynamics.
+
+The paper's canonical substrate is :class:`CompleteGraph` with self-loops;
+the remaining families support the open-question experiments of Section
+2.5 (expanders, stochastic block models, core-periphery graphs).
+"""
+
+from repro.graphs.base import AdjacencyGraph, Graph
+from repro.graphs.complete import CompleteGraph
+from repro.graphs.generators import (
+    core_periphery,
+    cycle_graph,
+    erdos_renyi,
+    from_networkx,
+    random_regular,
+    stochastic_block_model,
+    torus_grid,
+)
+
+__all__ = [
+    "AdjacencyGraph",
+    "CompleteGraph",
+    "Graph",
+    "core_periphery",
+    "cycle_graph",
+    "erdos_renyi",
+    "from_networkx",
+    "random_regular",
+    "stochastic_block_model",
+    "torus_grid",
+]

@@ -1,0 +1,180 @@
+"""Graph substrate interface.
+
+The dynamics studied in the paper only ever interact with the underlying
+graph through one primitive: *every vertex simultaneously samples one or
+more uniformly-random neighbours (with replacement)*.  The
+:class:`Graph` interface therefore exposes exactly that primitive, which
+lets the complete graph (the paper's setting) special-case to a trivially
+vectorised implementation while arbitrary graphs go through a CSR
+adjacency structure.
+
+Self-loops matter: on the paper's "complete graph with self-loops",
+choosing a random neighbour means choosing a uniformly random vertex
+*including yourself*.  Graph constructors take an explicit ``self_loops``
+flag so that both conventions are available.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["Graph", "AdjacencyGraph"]
+
+
+class Graph(abc.ABC):
+    """A vertex set plus the neighbour-sampling primitive.
+
+    Subclasses must set :attr:`num_vertices` and implement
+    :meth:`sample_neighbors`.
+    """
+
+    num_vertices: int
+
+    @abc.abstractmethod
+    def sample_neighbors(
+        self, rng: np.random.Generator, samples_per_vertex: int
+    ) -> np.ndarray:
+        """Sample neighbours for every vertex simultaneously.
+
+        Returns an ``(num_vertices, samples_per_vertex)`` integer array
+        whose row ``v`` holds i.i.d. uniform samples from the neighbourhood
+        of ``v`` (with replacement).
+        """
+
+    def sample_neighbors_of(
+        self,
+        vertices: np.ndarray,
+        rng: np.random.Generator,
+        samples_per_vertex: int,
+    ) -> np.ndarray:
+        """Sample neighbours for a subset of vertices.
+
+        Used by asynchronous schedules where only one (or a few) vertices
+        update per tick.  The default implementation materialises degrees
+        lazily via :meth:`sample_neighbors`; subclasses override it with a
+        direct computation.
+        """
+        full = self.sample_neighbors(rng, samples_per_vertex)
+        return full[np.asarray(vertices)]
+
+    @property
+    def is_complete_with_self_loops(self) -> bool:
+        """True only for the paper's canonical substrate.
+
+        The population (count-vector) engine is exact precisely on this
+        substrate; engines consult this flag to decide whether the count
+        representation is sufficient.
+        """
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.num_vertices})"
+
+
+class AdjacencyGraph(Graph):
+    """A general (di)graph stored in CSR form with O(1) neighbour sampling.
+
+    Parameters
+    ----------
+    indptr, indices:
+        Standard CSR row-pointer and column-index arrays.  Row ``v`` of the
+        adjacency list is ``indices[indptr[v]:indptr[v+1]]``.  Multi-edges
+        are allowed and weight the sampling accordingly.
+    name:
+        Optional label used in reprs and experiment tables.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        name: str | None = None,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indptr.size < 2:
+            raise GraphError("indptr must be 1-D with at least two entries")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise GraphError("indptr is inconsistent with indices")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        self.num_vertices = self.indptr.size - 1
+        self.degrees = np.diff(self.indptr)
+        if (self.degrees == 0).any():
+            isolated = int(np.flatnonzero(self.degrees == 0)[0])
+            raise GraphError(
+                f"vertex {isolated} has no neighbours; consensus dynamics "
+                "require every vertex to be able to sample a neighbour "
+                "(add self-loops or remove isolated vertices)"
+            )
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_vertices
+        ):
+            raise GraphError("indices reference vertices outside the graph")
+        self.name = name or "adjacency"
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: np.ndarray,
+        directed: bool = False,
+        self_loops: bool = False,
+        name: str | None = None,
+    ) -> "AdjacencyGraph":
+        """Build from an ``(m, 2)`` edge array.
+
+        Undirected edges are symmetrised.  ``self_loops=True`` appends one
+        self-loop per vertex (the paper's convention).
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        src, dst = edges[:, 0], edges[:, 1]
+        if not directed:
+            src, dst = (
+                np.concatenate([src, dst]),
+                np.concatenate([dst, src]),
+            )
+        if self_loops:
+            loops = np.arange(num_vertices, dtype=np.int64)
+            src = np.concatenate([src, loops])
+            dst = np.concatenate([dst, loops])
+        order = np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, dst, name=name)
+
+    def sample_neighbors(
+        self, rng: np.random.Generator, samples_per_vertex: int
+    ) -> np.ndarray:
+        offsets = rng.integers(
+            0,
+            self.degrees[:, None],
+            size=(self.num_vertices, samples_per_vertex),
+        )
+        return self.indices[self.indptr[:-1, None] + offsets]
+
+    def sample_neighbors_of(
+        self,
+        vertices: np.ndarray,
+        rng: np.random.Generator,
+        samples_per_vertex: int,
+    ) -> np.ndarray:
+        vertices = np.asarray(vertices, dtype=np.int64)
+        offsets = rng.integers(
+            0,
+            self.degrees[vertices, None],
+            size=(vertices.size, samples_per_vertex),
+        )
+        return self.indices[self.indptr[vertices, None] + offsets]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdjacencyGraph(name={self.name!r}, n={self.num_vertices}, "
+            f"edges={self.indices.size})"
+        )

@@ -1,0 +1,78 @@
+"""The complete graph, with and without self-loops.
+
+The paper's canonical substrate is the complete graph *with* self-loops:
+"choosing a random neighbour corresponds to choosing a vertex uniformly at
+random" (Section 1).  Sampling is then a single ``rng.integers`` call,
+independent of the adjacency structure.
+
+The no-self-loop variant (sample uniformly among the other ``n - 1``
+vertices) is provided for robustness studies; for large ``n`` the two are
+statistically indistinguishable, and tests verify exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.base import Graph
+
+__all__ = ["CompleteGraph"]
+
+
+class CompleteGraph(Graph):
+    """Complete graph on ``n`` vertices.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``n >= 1``.
+    self_loops:
+        When True (the paper's convention and the default), a vertex's
+        neighbourhood is the whole vertex set including itself.
+    """
+
+    def __init__(self, num_vertices: int, self_loops: bool = True) -> None:
+        if num_vertices < 1:
+            raise GraphError(f"need at least one vertex, got {num_vertices}")
+        if not self_loops and num_vertices < 2:
+            raise GraphError(
+                "a single vertex without a self-loop has no neighbours"
+            )
+        self.num_vertices = int(num_vertices)
+        self.self_loops = bool(self_loops)
+
+    @property
+    def is_complete_with_self_loops(self) -> bool:
+        return self.self_loops
+
+    def sample_neighbors(
+        self, rng: np.random.Generator, samples_per_vertex: int
+    ) -> np.ndarray:
+        n = self.num_vertices
+        if self.self_loops:
+            return rng.integers(0, n, size=(n, samples_per_vertex))
+        # Uniform over the other n-1 vertices: sample in [0, n-1) and shift
+        # values >= own index up by one, which skips exactly "self".
+        draws = rng.integers(0, n - 1, size=(n, samples_per_vertex))
+        own = np.arange(n, dtype=draws.dtype)[:, None]
+        return draws + (draws >= own)
+
+    def sample_neighbors_of(
+        self,
+        vertices: np.ndarray,
+        rng: np.random.Generator,
+        samples_per_vertex: int,
+    ) -> np.ndarray:
+        vertices = np.asarray(vertices, dtype=np.int64)
+        n = self.num_vertices
+        if self.self_loops:
+            return rng.integers(0, n, size=(vertices.size, samples_per_vertex))
+        draws = rng.integers(
+            0, n - 1, size=(vertices.size, samples_per_vertex)
+        )
+        return draws + (draws >= vertices[:, None])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = "+loops" if self.self_loops else "-loops"
+        return f"CompleteGraph(n={self.num_vertices}, {suffix})"

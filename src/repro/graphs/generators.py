@@ -1,0 +1,266 @@
+"""Graph family generators.
+
+The paper's open questions (Section 2.5) ask about 3-Majority/2-Choices
+with many opinions on graphs beyond the complete graph — expanders,
+stochastic block models and core-periphery graphs are the families studied
+in the k = 2 literature the paper cites ([CER14; CERRS15; CNS19; CNNS18]).
+These generators build those families as :class:`~repro.graphs.base.
+AdjacencyGraph` instances so the agent-level engine can run any dynamics
+on them.
+
+All generators take a ``seed`` (anything accepted by
+:func:`repro.seeding.as_generator`) and a ``self_loops`` flag whose
+default matches the paper's convention (loops on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.seeding import RandomState, as_generator
+from repro.errors import GraphError
+from repro.graphs.base import AdjacencyGraph
+
+__all__ = [
+    "core_periphery",
+    "cycle_graph",
+    "erdos_renyi",
+    "from_networkx",
+    "random_regular",
+    "stochastic_block_model",
+    "torus_grid",
+]
+
+
+def _edges_to_graph(
+    num_vertices: int,
+    edges: np.ndarray,
+    self_loops: bool,
+    name: str,
+) -> AdjacencyGraph:
+    return AdjacencyGraph.from_edges(
+        num_vertices, edges, directed=False, self_loops=self_loops, name=name
+    )
+
+
+def cycle_graph(
+    num_vertices: int, self_loops: bool = True
+) -> AdjacencyGraph:
+    """The n-cycle — the slowest-mixing connected benchmark substrate."""
+    if num_vertices < 3:
+        raise GraphError("a cycle needs at least 3 vertices")
+    v = np.arange(num_vertices, dtype=np.int64)
+    edges = np.column_stack([v, (v + 1) % num_vertices])
+    return _edges_to_graph(num_vertices, edges, self_loops, "cycle")
+
+
+def torus_grid(
+    side: int, self_loops: bool = True
+) -> AdjacencyGraph:
+    """The ``side x side`` two-dimensional torus (4-regular)."""
+    if side < 2:
+        raise GraphError("torus side must be at least 2")
+    n = side * side
+    v = np.arange(n, dtype=np.int64)
+    row, col = divmod(v, side)
+    right = row * side + (col + 1) % side
+    down = ((row + 1) % side) * side + col
+    edges = np.concatenate(
+        [np.column_stack([v, right]), np.column_stack([v, down])]
+    )
+    return _edges_to_graph(n, edges, self_loops, f"torus{side}x{side}")
+
+
+def erdos_renyi(
+    num_vertices: int,
+    edge_probability: float,
+    seed: RandomState = None,
+    self_loops: bool = True,
+) -> AdjacencyGraph:
+    """G(n, p) random graph.
+
+    Sparse sampling via a binomial edge count plus rejection of duplicate
+    pairs, so dense and sparse regimes both work.  Raises
+    :class:`~repro.errors.GraphError` if any vertex ends up with no
+    neighbours (only possible when ``self_loops=False``).
+    """
+    if not 0.0 < edge_probability <= 1.0:
+        raise GraphError(
+            f"edge probability must be in (0, 1], got {edge_probability}"
+        )
+    rng = as_generator(seed)
+    n = num_vertices
+    num_pairs = n * (n - 1) // 2
+    count = rng.binomial(num_pairs, edge_probability)
+    chosen = rng.choice(num_pairs, size=count, replace=False)
+    # Invert the row-major upper-triangular pair index (i < j).
+    i = (
+        n
+        - 2
+        - np.floor(
+            np.sqrt(-8.0 * chosen + 4.0 * n * (n - 1) - 7.0) / 2.0 - 0.5
+        )
+    ).astype(np.int64)
+    j = (
+        chosen + i + 1 - (n * (n - 1) - (n - i) * (n - i - 1)) // 2
+    ).astype(np.int64)
+    edges = np.column_stack([i, j])
+    return _edges_to_graph(
+        n, edges, self_loops, f"gnp(p={edge_probability:g})"
+    )
+
+
+def random_regular(
+    num_vertices: int,
+    degree: int,
+    seed: RandomState = None,
+    self_loops: bool = True,
+) -> AdjacencyGraph:
+    """Random d-regular graph (an expander with high probability).
+
+    Delegates to networkx's pairing-with-repair sampler (the naive
+    configuration model rejects simple pairings with probability
+    ``~exp(d^2/4)``, hopeless already at d ~ 6).  The networkx sampler is
+    seeded from our generator, so the usual reproducibility guarantees
+    hold.
+    """
+    if degree < 1 or degree >= num_vertices:
+        raise GraphError(
+            f"degree must be in [1, n), got {degree} for n={num_vertices}"
+        )
+    if (num_vertices * degree) % 2 != 0:
+        raise GraphError("n * degree must be even for a regular graph")
+    import networkx as nx
+
+    rng = as_generator(seed)
+    nx_seed = int(rng.integers(0, 2**31 - 1))
+    graph = nx.random_regular_graph(degree, num_vertices, seed=nx_seed)
+    edges = np.asarray(list(graph.edges()), dtype=np.int64).reshape(-1, 2)
+    return _edges_to_graph(
+        num_vertices, edges, self_loops, f"random-regular(d={degree})"
+    )
+
+
+def stochastic_block_model(
+    block_sizes: list[int],
+    p_in: float,
+    p_out: float,
+    seed: RandomState = None,
+    self_loops: bool = True,
+) -> AdjacencyGraph:
+    """Stochastic block model with homogeneous within/between densities.
+
+    The k = 2 literature ([SS19], cited by the paper) studies phase
+    transitions of Best-of-Two/Best-of-Three on this family; we expose it
+    so the extension experiments can probe the many-opinion behaviour.
+    """
+    if not 0.0 <= p_out <= 1.0 or not 0.0 < p_in <= 1.0:
+        raise GraphError("block densities must lie in [0, 1] (p_in > 0)")
+    rng = as_generator(seed)
+    sizes = np.asarray(block_sizes, dtype=np.int64)
+    if sizes.ndim != 1 or sizes.size == 0 or (sizes <= 0).any():
+        raise GraphError("block sizes must be positive integers")
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    n = int(offsets[-1])
+    chunks: list[np.ndarray] = []
+    num_blocks = sizes.size
+    for a in range(num_blocks):
+        for b in range(a, num_blocks):
+            p = p_in if a == b else p_out
+            if p == 0.0:
+                continue
+            if a == b:
+                size = sizes[a]
+                mask = rng.random((size, size)) < p
+                iu = np.triu(mask, k=1)
+                src, dst = np.nonzero(iu)
+                src = src + offsets[a]
+                dst = dst + offsets[a]
+            else:
+                mask = rng.random((sizes[a], sizes[b])) < p
+                src, dst = np.nonzero(mask)
+                src = src + offsets[a]
+                dst = dst + offsets[b]
+            if src.size:
+                chunks.append(np.column_stack([src, dst]))
+    edges = (
+        np.concatenate(chunks)
+        if chunks
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return _edges_to_graph(
+        n, edges, self_loops, f"sbm(blocks={num_blocks})"
+    )
+
+
+def core_periphery(
+    core_size: int,
+    periphery_size: int,
+    attachment: int = 1,
+    seed: RandomState = None,
+    self_loops: bool = True,
+) -> AdjacencyGraph:
+    """Dense core (clique) with sparsely attached periphery vertices.
+
+    Mirrors the core-periphery family from [CNNS18] (cited in Section
+    1.1): vertices ``0..core_size-1`` form a clique; each periphery vertex
+    attaches to ``attachment`` uniformly random core vertices.
+    """
+    if core_size < 2:
+        raise GraphError("core must have at least 2 vertices")
+    if attachment < 1 or attachment > core_size:
+        raise GraphError("attachment must be in [1, core_size]")
+    rng = as_generator(seed)
+    n = core_size + periphery_size
+    ci, cj = np.triu_indices(core_size, k=1)
+    chunks = [np.column_stack([ci, cj]).astype(np.int64)]
+    if periphery_size > 0:
+        periph = np.repeat(
+            np.arange(core_size, n, dtype=np.int64), attachment
+        )
+        anchors = np.concatenate(
+            [
+                rng.choice(core_size, size=attachment, replace=False)
+                for _ in range(periphery_size)
+            ]
+        ).astype(np.int64)
+        chunks.append(np.column_stack([periph, anchors]))
+    edges = np.concatenate(chunks)
+    return _edges_to_graph(
+        n, edges, self_loops, f"core-periphery({core_size}+{periphery_size})"
+    )
+
+
+def from_networkx(graph, self_loops: bool = True) -> AdjacencyGraph:
+    """Adapt a ``networkx`` graph into an :class:`AdjacencyGraph`.
+
+    Node labels are compacted to ``0..n-1`` in sorted order.  Existing
+    self-loops in the input are kept; ``self_loops=True`` additionally
+    guarantees one loop per vertex (without duplicating existing ones).
+    """
+    nodes = sorted(graph.nodes())
+    index = {node: pos for pos, node in enumerate(nodes)}
+    n = len(nodes)
+    if n == 0:
+        raise GraphError("networkx graph has no nodes")
+    raw = np.asarray(
+        [[index[u], index[v]] for u, v in graph.edges()], dtype=np.int64
+    ).reshape(-1, 2)
+    loop_mask = raw[:, 0] == raw[:, 1] if raw.size else np.zeros(0, bool)
+    has_loop = np.zeros(n, dtype=bool)
+    has_loop[raw[loop_mask, 0]] = True
+    plain = raw[~loop_mask]
+    # Symmetrise plain edges and append exactly one loop per looped vertex.
+    loop_vertices = (
+        np.arange(n, dtype=np.int64)
+        if self_loops
+        else np.flatnonzero(has_loop).astype(np.int64)
+    )
+    src = np.concatenate([plain[:, 0], plain[:, 1], loop_vertices])
+    dst = np.concatenate([plain[:, 1], plain[:, 0], loop_vertices])
+    order = np.argsort(src, kind="stable")
+    src, dst = src[order], dst[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return AdjacencyGraph(indptr, dst, name="networkx")

@@ -1,0 +1,16 @@
+"""Population-protocol substrate ([AAE07; AABBHKL23] related work)."""
+
+from repro.protocols.base import PairwiseEngine, PairwiseProtocol
+from repro.protocols.rules import (
+    ApproximateMajority,
+    UndecidedPairwise,
+    VoterPairwise,
+)
+
+__all__ = [
+    "ApproximateMajority",
+    "PairwiseEngine",
+    "PairwiseProtocol",
+    "UndecidedPairwise",
+    "VoterPairwise",
+]

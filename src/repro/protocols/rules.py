@@ -1,0 +1,113 @@
+"""Concrete population protocols from the paper's related work.
+
+* :class:`ApproximateMajority` — the 3-state protocol of Angluin,
+  Aspnes and Eisenstat [AAE07] (cited in Section 2.5): two opinions
+  plus a *blank* middle state.  A decided agent meeting the opposite
+  opinion blanks the responder; a decided agent recruits blank
+  responders.  Converges to the initial majority within O(n log n)
+  interactions w.h.p. when the initial gap is ``omega(sqrt(n) log n)``.
+* :class:`UndecidedPairwise` — the k-opinion undecided-state dynamics
+  in the population-protocol model [AABBHKL23]: the *initiator* updates
+  exactly as in the synchronous USD (see
+  :class:`~repro.core.undecided.UndecidedStateDynamics`), the responder
+  is read-only.
+* :class:`VoterPairwise` — sequential voter model baseline: the
+  initiator adopts the responder's opinion.
+
+State conventions: :class:`ApproximateMajority` uses states
+``0 = opinion A, 1 = opinion B, 2 = blank``;
+:class:`UndecidedPairwise` and :class:`VoterPairwise` over ``k``
+opinions use states ``0..k-1`` (+ state ``k`` = undecided for the
+former), matching :mod:`repro.core.undecided`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import PairwiseProtocol
+
+__all__ = ["ApproximateMajority", "UndecidedPairwise", "VoterPairwise"]
+
+
+class ApproximateMajority(PairwiseProtocol):
+    """[AAE07] 3-state approximate majority (A = 0, B = 1, blank = 2)."""
+
+    name = "approximate-majority"
+    num_states = 3
+
+    A, B, BLANK = 0, 1, 2
+
+    def interact(
+        self, initiator: int, responder: int, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        if initiator == self.A and responder == self.B:
+            return self.A, self.BLANK
+        if initiator == self.B and responder == self.A:
+            return self.B, self.BLANK
+        if initiator in (self.A, self.B) and responder == self.BLANK:
+            return initiator, initiator
+        return initiator, responder
+
+    def output(self, state: int) -> int | None:
+        return None if state == self.BLANK else state
+
+    @staticmethod
+    def initial_counts(num_a: int, num_b: int, blanks: int = 0):
+        """Count vector helper in the protocol's state order."""
+        return np.asarray([num_a, num_b, blanks], dtype=np.int64)
+
+
+class UndecidedPairwise(PairwiseProtocol):
+    """k-opinion undecided-state dynamics, protocol model [AABBHKL23].
+
+    States ``0..k-1`` are decided opinions; state ``k`` is undecided.
+    Only the initiator updates:
+
+    * undecided initiator adopts the responder's state;
+    * decided initiator meeting a different decided opinion becomes
+      undecided; otherwise nothing changes.
+    """
+
+    name = "undecided-pairwise"
+
+    def __init__(self, num_opinions: int) -> None:
+        if num_opinions < 1:
+            raise ConfigurationError(
+                f"need at least one opinion, got {num_opinions}"
+            )
+        self.num_opinions = int(num_opinions)
+        self.num_states = self.num_opinions + 1
+
+    def interact(
+        self, initiator: int, responder: int, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        undecided = self.num_opinions
+        if initiator == undecided:
+            return responder, responder
+        if responder != undecided and responder != initiator:
+            return undecided, responder
+        return initiator, responder
+
+    def output(self, state: int) -> int | None:
+        return None if state == self.num_opinions else state
+
+
+class VoterPairwise(PairwiseProtocol):
+    """Sequential voter baseline: initiator copies the responder."""
+
+    name = "voter-pairwise"
+
+    def __init__(self, num_opinions: int) -> None:
+        if num_opinions < 1:
+            raise ConfigurationError(
+                f"need at least one opinion, got {num_opinions}"
+            )
+        self.num_opinions = int(num_opinions)
+        self.num_states = self.num_opinions
+
+    def interact(
+        self, initiator: int, responder: int, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        return responder, responder

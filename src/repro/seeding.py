@@ -1,0 +1,110 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, a :class:`numpy.random.SeedSequence`, or
+``None`` (fresh OS entropy).  :func:`as_generator` normalises any of these
+into a ``Generator``, and :func:`spawn_generators` derives independent
+child streams for replicated runs, following numpy's recommended
+``SeedSequence.spawn`` discipline so that parallel replicas never share a
+stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+RandomState = (
+    int
+    | tuple
+    | list
+    | np.random.Generator
+    | np.random.SeedSequence
+    | None
+)
+"""Any value accepted by the library wherever randomness is needed.
+
+Tuples/lists of ints are composite entropy (e.g. ``(seed, stage)``) —
+valid for seed sequences but not directly for :func:`as_generator`
+callers that require spawnability.
+"""
+
+
+def as_generator(seed: RandomState = None) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing ``Generator`` returns it unchanged (no copy), so a
+    caller can thread one stream through several components.  Integers and
+    ``SeedSequence`` objects create a fresh PCG64 generator; ``None`` seeds
+    from OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    if isinstance(seed, (tuple, list)):
+        return np.random.default_rng(as_seed_sequence(seed))
+    raise TypeError(
+        "seed must be an int, numpy Generator, SeedSequence, "
+        f"int tuple or None, got {type(seed).__name__}"
+    )
+
+
+def as_seed_sequence(seed: RandomState = None) -> np.random.SeedSequence:
+    """Normalise ``seed`` into a :class:`numpy.random.SeedSequence`.
+
+    Generators cannot be converted back into a ``SeedSequence``; callers
+    that need spawnable entropy should pass an int/SeedSequence/None.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(seed)
+    if isinstance(seed, (tuple, list)) and all(
+        isinstance(part, (int, np.integer)) for part in seed
+    ):
+        # Composite entropy, e.g. (base_seed, stage_index).
+        return np.random.SeedSequence([int(part) for part in seed])
+    if isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "a Generator cannot be converted into a SeedSequence; pass the "
+            "originating seed instead"
+        )
+    raise TypeError(
+        "seed must be an int, SeedSequence or None, "
+        f"got {type(seed).__name__}"
+    )
+
+
+def spawn_generators(
+    seed: RandomState, count: int
+) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Used by the replication driver: replica ``i`` of a Monte-Carlo
+    experiment always receives child stream ``i``, so results are
+    reproducible regardless of execution order or parallelism.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    children = as_seed_sequence(seed).spawn(count)
+    return [np.random.default_rng(child) for child in children]
+
+
+def generator_stream(seed: RandomState) -> Iterator[np.random.Generator]:
+    """Yield an unbounded stream of independent generators.
+
+    Convenient when the number of replicas is not known in advance (e.g.
+    sequential runs until a statistical stopping rule fires).
+    """
+    root = as_seed_sequence(seed)
+    index = 0
+    while True:
+        # SeedSequence.spawn mutates spawn state; spawning one child at a
+        # time keeps the stream extendable without re-seeding.
+        (child,) = root.spawn(1)
+        yield np.random.default_rng(child)
+        index += 1

@@ -1,0 +1,168 @@
+"""Opinion-configuration representations and conversions.
+
+Two equivalent representations of a configuration of ``n`` agents holding
+opinions from ``{0, ..., k-1}`` are used throughout the library:
+
+* the **count vector** ``c`` with ``c[i] = #{v : opn(v) = i}`` and
+  ``c.sum() == n`` — the sufficient statistic on the complete graph with
+  self-loops, used by the exact population engine;
+* the **agent vector** ``opinions`` of length ``n`` with
+  ``opinions[v] in [0, k)`` — required on general graphs where vertex
+  identity matters.
+
+Opinions are 0-indexed internally (the paper uses ``[k] = {1..k}``).
+
+This module also provides the basic scalar functionals of a configuration
+used throughout the paper (Definition 3.2): the fractional population
+``alpha``, the squared l2-norm ``gamma`` and the pairwise bias ``delta``.
+They are re-exported by :mod:`repro.theory.quantities` with fuller
+documentation; the implementations live here because the engines need them
+on the hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StateError
+
+__all__ = [
+    "CountVector",
+    "agents_to_counts",
+    "alpha_from_counts",
+    "bias",
+    "consensus_opinion",
+    "counts_to_agents",
+    "gamma_from_counts",
+    "is_consensus",
+    "num_alive",
+    "support",
+    "validate_agents",
+    "validate_counts",
+]
+
+CountVector = np.ndarray
+"""Alias documenting arrays that hold per-opinion agent counts."""
+
+
+def validate_counts(counts: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Validate and canonicalise a count vector.
+
+    Returns a contiguous ``int64`` copy-or-view of ``counts``.  Raises
+    :class:`~repro.errors.StateError` if any entry is negative, the vector
+    is empty, or the total differs from ``n`` (when ``n`` is given).
+    """
+    arr = np.asarray(counts)
+    if arr.ndim != 1 or arr.size == 0:
+        raise StateError(
+            f"count vector must be 1-D and non-empty, got shape {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        rounded = np.rint(arr)
+        if not np.allclose(arr, rounded):
+            raise StateError("count vector must contain integers")
+        arr = rounded
+    arr = arr.astype(np.int64, copy=False)
+    if (arr < 0).any():
+        raise StateError("count vector must be non-negative")
+    total = int(arr.sum())
+    if total == 0:
+        raise StateError("count vector must have positive total mass")
+    if n is not None and total != n:
+        raise StateError(f"count vector sums to {total}, expected n={n}")
+    return arr
+
+
+def validate_agents(opinions: np.ndarray, k: int | None = None) -> np.ndarray:
+    """Validate an agent opinion vector; returns it as ``int64``.
+
+    ``k`` (when given) bounds the opinion labels: every entry must lie in
+    ``[0, k)``.
+    """
+    arr = np.asarray(opinions)
+    if arr.ndim != 1 or arr.size == 0:
+        raise StateError(
+            f"agent vector must be 1-D and non-empty, got shape {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise StateError("agent vector must contain integer opinion labels")
+    arr = arr.astype(np.int64, copy=False)
+    if (arr < 0).any():
+        raise StateError("opinion labels must be non-negative")
+    if k is not None and (arr >= k).any():
+        raise StateError(f"opinion labels must be < k={k}")
+    return arr
+
+
+def agents_to_counts(opinions: np.ndarray, k: int) -> np.ndarray:
+    """Histogram an agent vector into a length-``k`` count vector."""
+    arr = validate_agents(opinions, k=k)
+    return np.bincount(arr, minlength=k).astype(np.int64)
+
+
+def counts_to_agents(
+    counts: np.ndarray,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = False,
+) -> np.ndarray:
+    """Expand a count vector into an explicit agent vector.
+
+    By default agents are laid out in opinion-sorted blocks, which is the
+    canonical representative of the exchangeable class.  Pass
+    ``shuffle=True`` (with an ``rng``) to randomise vertex identities,
+    which matters when the vector seeds an agent-level run on a
+    *non-complete* graph.
+    """
+    arr = validate_counts(counts)
+    opinions = np.repeat(np.arange(arr.size, dtype=np.int64), arr)
+    if shuffle:
+        if rng is None:
+            raise ValueError("shuffle=True requires an rng")
+        rng.shuffle(opinions)
+    return opinions
+
+
+def alpha_from_counts(counts: np.ndarray) -> np.ndarray:
+    """Fractional populations ``alpha[i] = counts[i] / n`` (Def. 3.2(i))."""
+    arr = np.asarray(counts, dtype=np.float64)
+    return arr / arr.sum()
+
+
+def gamma_from_counts(counts: np.ndarray) -> float:
+    """Squared l2-norm ``gamma = sum_i alpha_i^2`` (Def. 3.2(iii)).
+
+    Satisfies ``1/k <= gamma <= 1`` with ``gamma = 1`` exactly at
+    consensus and ``gamma = 1/k`` exactly at the balanced configuration.
+    """
+    alpha = alpha_from_counts(counts)
+    return float(np.dot(alpha, alpha))
+
+
+def bias(counts: np.ndarray, i: int, j: int) -> float:
+    """Bias ``delta(i, j) = alpha_i - alpha_j`` (Def. 3.2(ii))."""
+    arr = np.asarray(counts, dtype=np.float64)
+    n = arr.sum()
+    return float((arr[i] - arr[j]) / n)
+
+
+def support(counts: np.ndarray) -> np.ndarray:
+    """Indices of opinions with at least one supporter."""
+    return np.flatnonzero(np.asarray(counts) > 0)
+
+
+def num_alive(counts: np.ndarray) -> int:
+    """Number of opinions with at least one supporter."""
+    return int(np.count_nonzero(np.asarray(counts)))
+
+
+def is_consensus(counts: np.ndarray) -> bool:
+    """True when a single opinion holds all the mass."""
+    return num_alive(counts) == 1
+
+
+def consensus_opinion(counts: np.ndarray) -> int | None:
+    """The winning opinion at consensus, or ``None`` if not at consensus."""
+    alive = support(counts)
+    if alive.size == 1:
+        return int(alive[0])
+    return None

@@ -1,0 +1,15 @@
+"""Ad-hoc parameter sweeps with caching and resume."""
+
+from repro.sweep.grid import (
+    SweepPoint,
+    SweepSpec,
+    consensus_time_point,
+    run_sweep,
+)
+
+__all__ = [
+    "SweepPoint",
+    "SweepSpec",
+    "consensus_time_point",
+    "run_sweep",
+]

@@ -1,0 +1,176 @@
+"""Parameter-grid sweeps with on-disk caching and resume.
+
+The experiment modules cover the paper's artefacts; this driver is for
+*ad-hoc* exploration — "consensus time over this (n, k, dynamics) grid,
+medians over m seeds, and don't redo points I already have".  It backs
+the examples and gives downstream users a one-call sweep API:
+
+>>> from repro.sweep import SweepSpec, run_sweep
+>>> spec = SweepSpec(
+...     grid={"n": [1024, 4096], "k": [4, 16, 64]},
+...     num_runs=5,
+... )
+>>> table = run_sweep(spec, cache_dir="sweeps/my-study")   # doctest: +SKIP
+
+Each grid point is measured by a *point function* (the default measures
+the consensus time of a dynamics from a balanced start; any callable
+``(params, rng) -> float`` works) and cached as one JSON file keyed by
+the point's parameters, so interrupted sweeps resume for free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.configs import balanced
+from repro.core.registry import make_dynamics
+from repro.engine import PopulationEngine, run_until_consensus
+from repro.errors import ConfigurationError
+from repro.seeding import RandomState, spawn_generators
+
+__all__ = ["SweepPoint", "SweepSpec", "consensus_time_point", "run_sweep"]
+
+PointFunction = Callable[[Mapping, np.random.Generator], float]
+
+
+def consensus_time_point(
+    params: Mapping, rng: np.random.Generator
+) -> float:
+    """Default point function: consensus time from a balanced start.
+
+    Expects ``params`` with keys ``dynamics`` (spec string, default
+    ``"3-majority"``), ``n``, ``k`` and optional ``max_rounds``.
+    Returns NaN when the round budget runs out, so censored points are
+    visible rather than silently dropped.
+    """
+    dynamics = make_dynamics(params.get("dynamics", "3-majority"))
+    n, k = int(params["n"]), int(params["k"])
+    budget = int(params.get("max_rounds", 200 * (k + int(np.sqrt(n)))))
+    engine = PopulationEngine(dynamics, balanced(n, k), seed=rng)
+    result = run_until_consensus(engine, max_rounds=budget)
+    return float(result.rounds) if result.converged else float("nan")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured grid point: parameters plus per-seed values."""
+
+    params: dict
+    values: tuple[float, ...]
+
+    @property
+    def median(self) -> float:
+        finite = [v for v in self.values if not np.isnan(v)]
+        return float(np.median(finite)) if finite else float("nan")
+
+    @property
+    def censored(self) -> int:
+        """Number of runs that exhausted their budget."""
+        return sum(1 for v in self.values if np.isnan(v))
+
+
+@dataclass
+class SweepSpec:
+    """A cartesian parameter grid and replication settings.
+
+    ``grid`` maps parameter names to value lists; every combination is
+    one point.  ``fixed`` parameters are merged into every point.
+    """
+
+    grid: dict[str, list]
+    num_runs: int = 3
+    seed: RandomState = 0
+    fixed: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise ConfigurationError("sweep grid must not be empty")
+        if self.num_runs < 1:
+            raise ConfigurationError("num_runs must be at least 1")
+        overlap = set(self.grid) & set(self.fixed)
+        if overlap:
+            raise ConfigurationError(
+                f"parameters {sorted(overlap)} appear in both grid "
+                "and fixed"
+            )
+
+    def points(self) -> list[dict]:
+        """All grid points in deterministic order."""
+        names = sorted(self.grid)
+        combos = itertools.product(*(self.grid[name] for name in names))
+        return [
+            {**self.fixed, **dict(zip(names, combo))} for combo in combos
+        ]
+
+
+def _point_key(params: Mapping) -> str:
+    """Stable filename stem for a point's parameter dict."""
+    canon = json.dumps(
+        {str(k): params[k] for k in sorted(params)}, sort_keys=True
+    )
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    point_function: PointFunction = consensus_time_point,
+    cache_dir: str | Path | None = None,
+) -> list[SweepPoint]:
+    """Measure every grid point, loading cached points where present.
+
+    Seeds are derived per point from ``(spec.seed, point key)`` so a
+    point's result is independent of the rest of the grid — adding grid
+    values later never changes previously measured points.
+    """
+    cache = Path(cache_dir) if cache_dir is not None else None
+    if cache is not None:
+        cache.mkdir(parents=True, exist_ok=True)
+    results: list[SweepPoint] = []
+    for params in spec.points():
+        key = _point_key(params)
+        cache_file = cache / f"{key}.json" if cache is not None else None
+        if cache_file is not None and cache_file.exists():
+            payload = json.loads(cache_file.read_text())
+            results.append(
+                SweepPoint(
+                    params=payload["params"],
+                    values=tuple(payload["values"]),
+                )
+            )
+            continue
+        point_seed = np.random.SeedSequence(
+            [_int_seed(spec.seed), int(key[:12], 16)]
+        )
+        values = tuple(
+            float(point_function(params, rng))
+            for rng in spawn_generators(point_seed, spec.num_runs)
+        )
+        point = SweepPoint(params=dict(params), values=values)
+        if cache_file is not None:
+            cache_file.write_text(
+                json.dumps(
+                    {"params": point.params, "values": list(values)}
+                )
+            )
+        results.append(point)
+    return results
+
+
+def _int_seed(seed: RandomState) -> int:
+    if seed is None:
+        return 0
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, (tuple, list)):
+        return int(sum(int(part) for part in seed))
+    raise ConfigurationError(
+        "sweep seeds must be ints or int tuples (cache keys must be "
+        f"stable), got {type(seed).__name__}"
+    )

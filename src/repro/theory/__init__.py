@@ -1,0 +1,96 @@
+"""Executable theory toolbox: the paper's formulas and proof machinery.
+
+* :mod:`~repro.theory.quantities` — Definition 3.2 (alpha, delta, gamma);
+* :mod:`~repro.theory.drift` — Lemma 4.1 moments and Table 1 drift rows;
+* :mod:`~repro.theory.bernstein` — Definition 3.3 / Lemmas 3.4, 4.2;
+* :mod:`~repro.theory.freedman` — Corollary 3.8 / Lemma 3.5;
+* :mod:`~repro.theory.stopping` — Definition 4.4 stopping times;
+* :mod:`~repro.theory.bounds` — Theorem 1.1 etc. bound formulas plus the
+  prior-work curves of Figure 1.
+"""
+
+from repro.theory.bernstein import (
+    BernsteinParams,
+    alpha_params,
+    delta_params,
+    empirical_mgf_check,
+    gamma_params,
+    mgf_bound,
+)
+from repro.theory.bounds import (
+    exponent_curve_prior,
+    exponent_curve_this_work,
+    gamma_condition,
+    lower_bound,
+    plurality_margin,
+    prior_upper_bound,
+    upper_bound,
+)
+from repro.theory.drift import (
+    TABLE1_ROWS,
+    DriftTermRow,
+    exact_gamma_next_three_majority,
+    exact_var_alpha,
+    expected_alpha_next,
+    expected_delta_next,
+    expected_gamma_increase_lower_bound,
+    var_alpha_upper_bound,
+    var_delta_lower_bound,
+    var_delta_upper_bound,
+)
+from repro.theory.freedman import (
+    additive_drift_hitting,
+    additive_drift_upcrossing,
+    freedman_classic_tail,
+    freedman_tail,
+)
+from repro.theory.quantities import (
+    delta,
+    eta,
+    gamma_lower_bound,
+    gamma_of_alpha,
+    p_norm,
+)
+from repro.theory.stopping import (
+    DriftConstants,
+    StoppingTimeTracker,
+    classify_opinions,
+)
+
+__all__ = [
+    "BernsteinParams",
+    "DriftConstants",
+    "DriftTermRow",
+    "StoppingTimeTracker",
+    "TABLE1_ROWS",
+    "additive_drift_hitting",
+    "additive_drift_upcrossing",
+    "alpha_params",
+    "classify_opinions",
+    "delta",
+    "delta_params",
+    "empirical_mgf_check",
+    "eta",
+    "exact_gamma_next_three_majority",
+    "exact_var_alpha",
+    "expected_alpha_next",
+    "expected_delta_next",
+    "expected_gamma_increase_lower_bound",
+    "exponent_curve_prior",
+    "exponent_curve_this_work",
+    "freedman_classic_tail",
+    "freedman_tail",
+    "gamma_condition",
+    "gamma_lower_bound",
+    "gamma_of_alpha",
+    "gamma_params",
+    "lower_bound",
+    "mgf_bound",
+    "p_norm",
+    "plurality_margin",
+    "prior_upper_bound",
+    "upper_bound",
+    "var_alpha_upper_bound",
+    "var_delta_lower_bound",
+    "var_delta_upper_bound",
+]

@@ -1,0 +1,178 @@
+"""Consensus-time bound predictions: this paper and Figure 1 prior work.
+
+Figure 1 of the paper plots upper-bound *exponents* as a function of
+``kappa = log_n k`` (ignoring polylog factors).  This module provides
+
+* the polylog-explicit bound formulas from the theorem statements (used
+  to overlay predicted curves on measured data), and
+* the exponent curves themselves (used to regenerate Figure 1 as a
+  table of ``kappa -> exponent`` values).
+
+Bounds implemented:
+
+=============================  ==========================================
+This paper, 3-Majority          ``~Theta(min{k, sqrt n})``  (Thm 1.1)
+This paper, 2-Choices           ``~Theta(k)``               (Thm 1.1)
+Prior 3-Majority                ``O(k log n)`` for ``k <~ n^{1/3}``,
+                                else ``O(n^{2/3} log^{3/2} n)``
+                                ([GL18] + [BCEKMN17], Section 1.1)
+Prior 2-Choices                 ``O(k log n)`` for ``k <~ sqrt(n)``,
+                                none beyond ([GL18])
+Lower bound (both)              ``Omega(min{k, n / log n})`` from the
+                                balanced start ([BCEKMN17]; Thm 2.7)
+=============================  ==========================================
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "exponent_curve_prior",
+    "exponent_curve_this_work",
+    "gamma_condition",
+    "lower_bound",
+    "plurality_margin",
+    "prior_upper_bound",
+    "upper_bound",
+]
+
+_KNOWN = ("3-majority", "2-choices")
+
+
+def _check(dynamics: str, n: int, k: int | None = None) -> None:
+    if dynamics not in _KNOWN:
+        raise ConfigurationError(
+            f"dynamics must be one of {_KNOWN}, got {dynamics!r}"
+        )
+    if n < 2:
+        raise ConfigurationError(f"n must be at least 2, got {n}")
+    if k is not None and not 2 <= k <= n:
+        raise ConfigurationError(
+            f"k must satisfy 2 <= k <= n, got k={k}, n={n}"
+        )
+
+
+def upper_bound(dynamics: str, n: int, k: int) -> float:
+    """This paper's upper bound with explicit polylog factors.
+
+    3-Majority (Theorems 2.1 + 2.2): ``min(k log n, sqrt(n) log^2 n)``.
+    2-Choices  (Theorems 2.1 + 2.2): ``min(k log n, n log^3 n)``.
+
+    Constants are set to 1; only the *shape* is meaningful, which is all
+    the experiments compare against.
+    """
+    _check(dynamics, n, k)
+    log_n = math.log(n)
+    if dynamics == "3-majority":
+        return min(k * log_n, math.sqrt(n) * log_n**2)
+    return min(k * log_n, n * log_n**3)
+
+
+def prior_upper_bound(dynamics: str, n: int, k: int) -> float | None:
+    """The best pre-paper upper bound (Figure 1(a)); ``None`` = unknown.
+
+    3-Majority: ``k log n`` for ``k <= n^{1/3} / sqrt(log n)`` [GL18],
+    else ``n^{2/3} (log n)^{3/2}`` [BCEKMN17 + GL18].
+    2-Choices: ``k log n`` for ``k <= sqrt(n / log n)`` [GL18]; no bound
+    was known for larger k (the regime this paper closes).
+    """
+    _check(dynamics, n, k)
+    log_n = math.log(n)
+    if dynamics == "3-majority":
+        if k <= n ** (1.0 / 3.0) / math.sqrt(log_n):
+            return k * log_n
+        return n ** (2.0 / 3.0) * log_n**1.5
+    if k <= math.sqrt(n / log_n):
+        return k * log_n
+    return None
+
+
+def lower_bound(dynamics: str, n: int, k: int) -> float:
+    """Theorem 2.7 / [BCEKMN17]: ``Omega(min{k, n / log n})``.
+
+    From the balanced initial configuration; the constant is set to 1.
+    For 3-Majority the effective lower bound is
+    ``min(k, sqrt(n / log n))`` (take the balanced configuration on
+    ``min(k, c sqrt(n/log n))`` opinions, Theorem 1.1's proof).
+    """
+    _check(dynamics, n, k)
+    log_n = math.log(n)
+    if dynamics == "3-majority":
+        return min(k, math.sqrt(n / log_n))
+    return min(k, n / log_n)
+
+
+def gamma_condition(dynamics: str, n: int, constant: float = 1.0) -> float:
+    """Theorem 2.1's threshold on ``gamma_0``.
+
+    3-Majority: ``C log n / sqrt(n)``;  2-Choices: ``C (log n)^2 / n``.
+    """
+    _check(dynamics, n)
+    log_n = math.log(n)
+    if dynamics == "3-majority":
+        return constant * log_n / math.sqrt(n)
+    return constant * log_n**2 / n
+
+
+def plurality_margin(
+    dynamics: str,
+    n: int,
+    alpha_leader: float | None = None,
+    constant: float = 1.0,
+) -> float:
+    """Theorem 2.6's required initial margin ``alpha_0(1) - alpha_0(j)``.
+
+    3-Majority: ``C sqrt(log n / n)``.
+    2-Choices:  ``C sqrt(alpha_0(1) log n / n)`` — needs the leader's
+    initial fraction.
+    """
+    _check(dynamics, n)
+    log_n = math.log(n)
+    if dynamics == "3-majority":
+        return constant * math.sqrt(log_n / n)
+    if alpha_leader is None:
+        raise ConfigurationError(
+            "2-Choices margin requires the leader fraction alpha_leader"
+        )
+    if not 0.0 < alpha_leader <= 1.0:
+        raise ConfigurationError(
+            f"alpha_leader must be in (0, 1], got {alpha_leader}"
+        )
+    return constant * math.sqrt(alpha_leader * log_n / n)
+
+
+def exponent_curve_this_work(dynamics: str, kappa: float) -> float:
+    """Figure 1(b): consensus-time exponent at ``k = n^kappa``.
+
+    3-Majority: ``min(kappa, 1/2)``;  2-Choices: ``kappa``.
+    Polylog factors are ignored, exactly as in the figure.
+    """
+    if dynamics not in _KNOWN:
+        raise ConfigurationError(
+            f"dynamics must be one of {_KNOWN}, got {dynamics!r}"
+        )
+    if not 0.0 <= kappa <= 1.0:
+        raise ConfigurationError(f"kappa must be in [0, 1], got {kappa}")
+    if dynamics == "3-majority":
+        return min(kappa, 0.5)
+    return kappa
+
+
+def exponent_curve_prior(dynamics: str, kappa: float) -> float | None:
+    """Figure 1(a): pre-paper exponent at ``k = n^kappa``.
+
+    3-Majority: ``kappa`` for ``kappa <= 1/3``, else ``2/3``.
+    2-Choices:  ``kappa`` for ``kappa <= 1/2``, else ``None`` (no bound).
+    """
+    if dynamics not in _KNOWN:
+        raise ConfigurationError(
+            f"dynamics must be one of {_KNOWN}, got {dynamics!r}"
+        )
+    if not 0.0 <= kappa <= 1.0:
+        raise ConfigurationError(f"kappa must be in [0, 1], got {kappa}")
+    if dynamics == "3-majority":
+        return kappa if kappa <= 1.0 / 3.0 else 2.0 / 3.0
+    return kappa if kappa <= 0.5 else None

@@ -1,0 +1,236 @@
+"""One-step moment formulas and drift terms (paper Lemma 4.1, Table 1).
+
+Everything here is a *closed form* conditioned on the round-(t-1)
+configuration; the test suite and the ``table1`` / ``lem41`` experiments
+compare these against Monte-Carlo estimates from the exact engines.
+
+Conventions: ``alpha`` is the round-(t-1) fractional population vector;
+``gamma = sum alpha_i^2``; functions take the dynamics by short name
+(``"3-majority"`` / ``"2-choices"``) where the two differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.theory.quantities import gamma_of_alpha
+
+__all__ = [
+    "DriftTermRow",
+    "TABLE1_ROWS",
+    "expected_alpha_next",
+    "expected_delta_next",
+    "expected_gamma_increase_lower_bound",
+    "exact_gamma_next_three_majority",
+    "exact_var_alpha",
+    "var_alpha_upper_bound",
+    "var_delta_lower_bound",
+    "var_delta_upper_bound",
+]
+
+_KNOWN = ("3-majority", "2-choices")
+
+
+def _check_dynamics(dynamics: str) -> str:
+    if dynamics not in _KNOWN:
+        raise ConfigurationError(
+            f"dynamics must be one of {_KNOWN}, got {dynamics!r}"
+        )
+    return dynamics
+
+
+def expected_alpha_next(alpha: np.ndarray) -> np.ndarray:
+    """Lemma 4.1(i): ``E[alpha_t(i)] = alpha_i (1 + alpha_i - gamma)``.
+
+    Identical for 3-Majority and 2-Choices — the key identity (1) of the
+    proof outline.
+    """
+    alpha = np.asarray(alpha, dtype=np.float64)
+    gamma = gamma_of_alpha(alpha)
+    return alpha * (1.0 + alpha - gamma)
+
+
+def exact_var_alpha(alpha: np.ndarray, i: int, dynamics: str) -> float:
+    """Exact one-step variance of ``alpha_t(i)`` (Appendix B.1).
+
+    3-Majority (from eq. (22) with ``f_i = alpha_i(1 + alpha_i - gamma)``):
+    ``Var = f_i (1 - f_i) / n``... the ``1/n`` factor is deliberately
+    *omitted* here: this function returns ``n * Var`` so callers can scale
+    by their own ``n``.  Use :func:`var_alpha_upper_bound` for the bound
+    the paper states.
+
+    2-Choices (paper eq. (25)):
+    ``n Var = a (1 - g + a^2)(g - a^2) + (1 - a) a^2 (1 - a^2)``
+    with ``a = alpha_i`` and ``g = gamma``.
+    """
+    _check_dynamics(dynamics)
+    alpha = np.asarray(alpha, dtype=np.float64)
+    gamma = gamma_of_alpha(alpha)
+    a = float(alpha[i])
+    if dynamics == "3-majority":
+        f = a * (1.0 + a - gamma)
+        return f * (1.0 - f)
+    keep = 1.0 - gamma + a * a
+    return a * keep * (gamma - a * a) + (1.0 - a) * a * a * (1.0 - a * a)
+
+
+def var_alpha_upper_bound(
+    alpha: np.ndarray, i: int, n: int, dynamics: str
+) -> float:
+    """Lemma 4.1(i) variance bounds.
+
+    3-Majority: ``alpha_i / n``.
+    2-Choices:  ``alpha_i (alpha_i + gamma) / n``.
+    """
+    _check_dynamics(dynamics)
+    alpha = np.asarray(alpha, dtype=np.float64)
+    a = float(alpha[i])
+    if dynamics == "3-majority":
+        return a / n
+    gamma = gamma_of_alpha(alpha)
+    return a * (a + gamma) / n
+
+
+def expected_delta_next(alpha: np.ndarray, i: int, j: int) -> float:
+    """Lemma 4.1(ii): ``E[delta_t] = delta (1 + alpha_i + alpha_j - gamma)``.
+
+    Identity (3) of the proof outline — the engine of the multiplicative
+    bias drift: for two *strong* opinions the factor exceeds
+    ``1 + (1 - 2 c_weak) gamma``.
+    """
+    alpha = np.asarray(alpha, dtype=np.float64)
+    gamma = gamma_of_alpha(alpha)
+    d = float(alpha[i] - alpha[j])
+    return d * (1.0 + float(alpha[i] + alpha[j]) - gamma)
+
+
+def var_delta_upper_bound(
+    alpha: np.ndarray, i: int, j: int, n: int, dynamics: str
+) -> float:
+    """Lemma 4.1(ii) variance bounds.
+
+    3-Majority: ``2 (alpha_i + alpha_j) / n``.
+    2-Choices:  ``(alpha_i + alpha_j)(alpha_i + alpha_j + gamma) / n``.
+    """
+    _check_dynamics(dynamics)
+    alpha = np.asarray(alpha, dtype=np.float64)
+    s = float(alpha[i] + alpha[j])
+    if dynamics == "3-majority":
+        return 2.0 * s / n
+    gamma = gamma_of_alpha(alpha)
+    return s * (s + gamma) / n
+
+
+def var_delta_lower_bound(
+    alpha: np.ndarray,
+    i: int,
+    j: int,
+    n: int,
+    dynamics: str,
+    c_weak: float = 0.1,
+) -> float:
+    """Lemma 4.6(ii): variance *lower* bounds for two non-weak opinions.
+
+    With ``C = 1 - 1 / sqrt(2 (1 - c_weak))``:
+
+    3-Majority: ``C^3 (alpha_i + alpha_j) / n``.
+    2-Choices:  ``C^2 (alpha_i^2 + alpha_j^2) / n``.
+
+    Only valid while both opinions are non-weak (callers must check);
+    this is the additive-drift fuel of Lemma 5.6.
+    """
+    _check_dynamics(dynamics)
+    alpha = np.asarray(alpha, dtype=np.float64)
+    c46 = 1.0 - 1.0 / np.sqrt(2.0 * (1.0 - c_weak))
+    if dynamics == "3-majority":
+        return c46**3 * float(alpha[i] + alpha[j]) / n
+    return c46**2 * float(alpha[i] ** 2 + alpha[j] ** 2) / n
+
+
+def expected_gamma_increase_lower_bound(
+    alpha: np.ndarray, n: int, dynamics: str
+) -> float:
+    """Lemma 4.1(iii): lower bound on ``E[gamma_t] - gamma_{t-1}``.
+
+    3-Majority: ``(1 - gamma) / n``.
+    2-Choices:  ``(1 - sqrt(gamma)) (1 - gamma) gamma / n``.
+
+    Both are non-negative: ``gamma_t`` is a submartingale (identity (2)),
+    the heart of the norm-growth argument (Theorem 2.2).
+    """
+    _check_dynamics(dynamics)
+    gamma = gamma_of_alpha(alpha)
+    if dynamics == "3-majority":
+        return (1.0 - gamma) / n
+    return (1.0 - np.sqrt(gamma)) * (1.0 - gamma) * gamma / n
+
+
+def exact_gamma_next_three_majority(alpha: np.ndarray, n: int) -> float:
+    """Exact ``E[gamma_t]`` for 3-Majority (Appendix B.1).
+
+    ``E[gamma_t] = (1 - 1/n) sum_i f_i^2 + 1/n`` with
+    ``f_i = alpha_i (1 + alpha_i - gamma)``.
+    """
+    alpha = np.asarray(alpha, dtype=np.float64)
+    f = expected_alpha_next(alpha)
+    return float((1.0 - 1.0 / n) * np.dot(f, f) + 1.0 / n)
+
+
+@dataclass(frozen=True)
+class DriftTermRow:
+    """One row of the paper's Table 1 (drift-term inventory).
+
+    ``quantity`` names the tracked random variable, ``direction`` the
+    inequality sign of the drift bound, ``magnitude`` a human-readable
+    version of the bound, and ``condition`` the stopping-time condition
+    under which it holds.
+    """
+
+    quantity: str
+    direction: str
+    magnitude: str
+    condition: str
+
+
+TABLE1_ROWS: tuple[DriftTermRow, ...] = (
+    DriftTermRow(
+        "E[alpha_t(i) - alpha_{t-1}(i)]",
+        "<=",
+        "C alpha_0(i)^2",
+        "t-1 < tau_up(i)",
+    ),
+    DriftTermRow(
+        "E[alpha_t(i) - alpha_{t-1}(i)]",
+        ">=",
+        "-C alpha_0(i)^2",
+        "t-1 < min{tau_weak(i), tau_up(i)}",
+    ),
+    DriftTermRow(
+        "E[alpha_t(i) - alpha_{t-1}(i)]",
+        "<=",
+        "0",
+        "t-1 < min{tau_active(i), tau_down(gamma)}",
+    ),
+    DriftTermRow(
+        "E[delta_t(i,j) - delta_{t-1}(i,j)]",
+        ">=",
+        "0",
+        "t-1 < min{tau_weak(j), tau_down(delta)}",
+    ),
+    DriftTermRow(
+        "E[delta_t(i,j) - delta_{t-1}(i,j)]",
+        ">=",
+        "C alpha_0(i) delta_0(i,j)",
+        "t-1 < min{tau_weak(j), tau_down(delta), tau_down(i)}",
+    ),
+    DriftTermRow(
+        "E[gamma_t - gamma_{t-1}]",
+        ">=",
+        "0",
+        "always",
+    ),
+)
+"""The six drift statements of paper Table 1, in paper order."""

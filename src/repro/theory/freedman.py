@@ -1,0 +1,116 @@
+"""Freedman-type inequalities and the additive drift lemma.
+
+Executable versions of the probability bounds the paper's proofs run on:
+
+* :func:`freedman_tail` — the tail of Corollary 3.8 (a Freedman/Bernstein
+  inequality for supermartingales whose increments satisfy a one-sided
+  Bernstein condition);
+* :func:`additive_drift_upcrossing` / :func:`additive_drift_hitting` —
+  the two items of Lemma 3.5, giving respectively the probability that a
+  drift-``R`` process climbs by ``h`` too early (``R >= 0``) and the
+  probability that a downward-drift process has *not* dropped by ``h``
+  after ``T`` rounds (``R < 0``);
+* :func:`freedman_classic_tail` — the original bounded-difference form
+  (paper eq. (4)) for comparison.
+
+These are used three ways: (a) the tests check them against simulated
+martingales, (b) the ``fig2`` pipeline experiment evaluates the same
+failure probabilities the proofs budget, and (c) they document exactly
+which numbers the paper's "with high probability" statements hide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.theory.bernstein import BernsteinParams
+
+__all__ = [
+    "additive_drift_hitting",
+    "additive_drift_upcrossing",
+    "freedman_classic_tail",
+    "freedman_tail",
+]
+
+
+def freedman_tail(h: float, T: float, params: BernsteinParams) -> float:
+    """Corollary 3.8: ``P[exists t <= T : X_t - X_0 >= h]`` bound.
+
+    For a supermartingale whose increments satisfy the one-sided
+    ``(D, s)``-Bernstein condition,
+
+        P <= exp( - (h^2 / 2) / (T s + h D / 3) ).
+    """
+    if h <= 0 or T <= 0:
+        raise ConfigurationError(
+            f"h and T must be positive, got h={h}, T={T}"
+        )
+    denom = T * params.s + h * params.D / 3.0
+    if denom == 0.0:
+        return 0.0
+    return float(np.exp(-(h * h / 2.0) / denom))
+
+
+def freedman_classic_tail(
+    h: float, T: float, s: float, D: float
+) -> float:
+    """Paper eq. (4): Freedman's inequality with bounded differences.
+
+    ``P[exists t <= T : X_t <= E[X_t] - h] <= exp(-h^2/2 / (Ts + hD/3))``
+    for a submartingale with ``|X_t - X_{t-1}| <= D`` and per-step
+    conditional variance at most ``s``.  Numerically identical to
+    :func:`freedman_tail`; kept separate because the hypotheses differ
+    (bounded jumps vs. Bernstein condition) and the paper's narrative
+    hinges on that difference.
+    """
+    return freedman_tail(h, T, BernsteinParams(D, s, one_sided=True))
+
+
+def additive_drift_upcrossing(
+    h: float, T: float, R: float, params: BernsteinParams
+) -> float:
+    """Lemma 3.5(i): early upcrossing probability under drift ``R >= 0``.
+
+    If ``E[X_t] <= X_{t-1} + R`` and the centred increments satisfy the
+    one-sided ``(D, s)``-Bernstein condition, then with
+    ``z = h - R T > 0``:
+
+        P[tau^+_X <= min(T, tau)] <= exp( -(z^2/2) / (sT + zD/3) ).
+
+    Returns 1.0 (trivial bound) when ``z <= 0`` — the regime where the
+    drift alone can cover the climb and the lemma is silent.
+    """
+    if R < 0:
+        raise ConfigurationError("use additive_drift_hitting for R < 0")
+    z = h - R * T
+    if z <= 0:
+        return 1.0
+    denom = params.s * T + z * params.D / 3.0
+    if denom == 0.0:
+        return 0.0
+    return float(np.exp(-(z * z / 2.0) / denom))
+
+
+def additive_drift_hitting(
+    h: float, T: float, R: float, params: BernsteinParams
+) -> float:
+    """Lemma 3.5(ii): failure-to-drop probability under drift ``R < 0``.
+
+    If ``E[X_t] <= X_{t-1} + R`` with ``R < 0``, then with
+    ``z = (-R) T - h > 0``:
+
+        P[min(tau^-_X, tau) > T] <= exp( -(z^2/2) / (sT + zD/3) ).
+
+    Returns 1.0 when ``z <= 0`` (horizon too short for the drift to
+    cover the drop).
+    """
+    if R >= 0:
+        raise ConfigurationError("additive_drift_hitting requires R < 0")
+    z = (-R) * T - h
+    if z <= 0:
+        return 1.0
+    denom = params.s * T + z * params.D / 3.0
+    if denom == 0.0:
+        return 0.0
+    return float(np.exp(-(z * z / 2.0) / denom))

@@ -1,0 +1,70 @@
+"""Basic quantities of a configuration (paper Definition 3.2).
+
+Given a configuration with fractional populations
+``alpha = (alpha_1, ..., alpha_k)``:
+
+* ``gamma = ||alpha||_2^2 = sum_i alpha_i^2`` — the squared l2-norm whose
+  growth drives the whole analysis (``1/k <= gamma <= 1`` by
+  Cauchy-Schwarz, Section 2);
+* ``delta(i, j) = alpha_i - alpha_j`` — the bias between two opinions;
+* ``eta(i, j) = delta / sqrt(max(alpha_i, alpha_j))`` — the *scaled* bias
+  used for 2-Choices (Definition 5.3);
+* p-norms ``||alpha||_p`` appearing in the variance calculations
+  (Lemma 4.2 uses ``||alpha||_3^3`` and ``||alpha||_4^4``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.state import alpha_from_counts, gamma_from_counts
+
+__all__ = [
+    "alpha_from_counts",
+    "eta",
+    "gamma_from_counts",
+    "gamma_lower_bound",
+    "gamma_of_alpha",
+    "delta",
+    "p_norm",
+]
+
+
+def gamma_of_alpha(alpha: np.ndarray) -> float:
+    """``gamma = sum_i alpha_i^2`` from fractional populations."""
+    alpha = np.asarray(alpha, dtype=np.float64)
+    return float(np.dot(alpha, alpha))
+
+
+def gamma_lower_bound(k: int) -> float:
+    """Cauchy-Schwarz floor ``gamma >= 1/k`` (Section 2)."""
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    return 1.0 / k
+
+
+def delta(alpha: np.ndarray, i: int, j: int) -> float:
+    """Bias ``delta(i, j) = alpha_i - alpha_j`` (Definition 3.2(ii))."""
+    alpha = np.asarray(alpha, dtype=np.float64)
+    return float(alpha[i] - alpha[j])
+
+
+def eta(alpha: np.ndarray, i: int, j: int) -> float:
+    """Scaled bias for 2-Choices (Definition 5.3).
+
+    ``eta(i, j) = delta(i, j) / sqrt(max(alpha_i, alpha_j))``; undefined
+    (returned as 0) when both opinions are extinct.
+    """
+    alpha = np.asarray(alpha, dtype=np.float64)
+    top = max(float(alpha[i]), float(alpha[j]))
+    if top == 0.0:
+        return 0.0
+    return float((alpha[i] - alpha[j]) / np.sqrt(top))
+
+
+def p_norm(alpha: np.ndarray, p: float) -> float:
+    """``||alpha||_p`` (Section 3 notation); ``p = inf`` gives the max."""
+    alpha = np.asarray(alpha, dtype=np.float64)
+    if np.isinf(p):
+        return float(np.max(np.abs(alpha)))
+    return float(np.sum(np.abs(alpha) ** p) ** (1.0 / p))

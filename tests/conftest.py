@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for additional independent deterministic generators."""
+
+    def make(seed: int = 0) -> np.random.Generator:
+        return np.random.default_rng((987654321, seed))
+
+    return make

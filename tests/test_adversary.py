@@ -1,0 +1,169 @@
+"""Tests for the F-bounded adversary substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AdversarialPopulationEngine,
+    RandomCorruption,
+    ReviveWeakest,
+    SupportRunnerUp,
+)
+from repro.adversary.base import Adversary
+from repro.configs import balanced, two_block
+from repro.core import ThreeMajority
+from repro.errors import ConfigurationError
+
+
+class TestStrategies:
+    def test_budget_validated(self):
+        with pytest.raises(ConfigurationError):
+            RandomCorruption(-1)
+
+    @pytest.mark.parametrize(
+        "adversary",
+        [RandomCorruption(5), SupportRunnerUp(5), ReviveWeakest(5)],
+        ids=["random", "runner-up", "revive"],
+    )
+    def test_mass_conserved(self, adversary, rng):
+        counts = np.asarray([40, 30, 20, 10], dtype=np.int64)
+        new = adversary.corrupt(counts, rng)
+        assert new.sum() == 100
+        assert np.all(new >= 0)
+
+    @pytest.mark.parametrize(
+        "adversary",
+        [RandomCorruption(5), SupportRunnerUp(5), ReviveWeakest(5)],
+        ids=["random", "runner-up", "revive"],
+    )
+    def test_budget_respected(self, adversary, rng):
+        counts = np.asarray([40, 30, 20, 10], dtype=np.int64)
+        new = adversary.corrupt(counts, rng)
+        moved = int(np.abs(new - counts).sum()) // 2
+        assert moved <= 5
+
+    def test_zero_budget_noop(self, rng):
+        counts = np.asarray([40, 60], dtype=np.int64)
+        for adversary in (
+            RandomCorruption(0),
+            SupportRunnerUp(0),
+            ReviveWeakest(0),
+        ):
+            assert np.array_equal(adversary.corrupt(counts, rng), counts)
+
+    def test_support_runner_up_direction(self, rng):
+        counts = np.asarray([70, 20, 10], dtype=np.int64)
+        new = SupportRunnerUp(8).corrupt(counts, rng)
+        assert new[0] < 70
+        assert new[1] > 20
+        assert new[2] == 10
+
+    def test_support_runner_up_never_overtakes(self, rng):
+        counts = np.asarray([52, 48], dtype=np.int64)
+        new = SupportRunnerUp(100).corrupt(counts, rng)
+        assert new[0] >= new[1]
+
+    def test_support_runner_up_at_consensus_noop(self, rng):
+        counts = np.asarray([0, 100], dtype=np.int64)
+        assert np.array_equal(
+            SupportRunnerUp(10).corrupt(counts, rng), counts
+        )
+
+    def test_revive_weakest_direction(self, rng):
+        counts = np.asarray([70, 20, 10], dtype=np.int64)
+        new = ReviveWeakest(5).corrupt(counts, rng)
+        assert new[2] == 15
+        assert new[0] == 65
+
+    def test_revive_weakest_ignores_dead(self, rng):
+        counts = np.asarray([70, 0, 30], dtype=np.int64)
+        new = ReviveWeakest(5).corrupt(counts, rng)
+        assert new[1] == 0  # dead opinions are not resurrected
+
+    def test_random_corruption_spreads(self, rng):
+        counts = np.asarray([1000, 0, 0, 0], dtype=np.int64)
+        new = RandomCorruption(400).corrupt(counts, rng)
+        # Victims are re-assigned uniformly, so other opinions appear.
+        assert (new[1:] > 0).any()
+
+
+class TestAdversarialEngine:
+    def test_step_applies_both_phases(self):
+        engine = AdversarialPopulationEngine(
+            ThreeMajority(),
+            two_block(1000, 4, 0.6),
+            ReviveWeakest(3),
+            seed=0,
+        )
+        engine.step()
+        assert engine.round_index == 1
+        assert engine.counts.sum() == 1000
+
+    def test_budget_violation_detected(self):
+        class Cheater(Adversary):
+            def corrupt(self, counts, rng):
+                new = counts.copy()
+                move = min(self.budget + 5, int(new[0]))
+                new[0] -= move
+                new[1] += move
+                return new
+
+        engine = AdversarialPopulationEngine(
+            ThreeMajority(), [500, 500], Cheater(2), seed=0
+        )
+        with pytest.raises(ConfigurationError, match="exceeding"):
+            engine.step()
+
+    def test_mass_violation_detected(self):
+        class Leaker(Adversary):
+            def corrupt(self, counts, rng):
+                new = counts.copy()
+                new[0] = max(new[0] - 1, 0)
+                return new
+
+        engine = AdversarialPopulationEngine(
+            ThreeMajority(), [500, 500], Leaker(5), seed=0
+        )
+        with pytest.raises(Exception, match="sums|expected"):
+            engine.step()
+
+    def test_zero_budget_reaches_consensus(self):
+        engine = AdversarialPopulationEngine(
+            ThreeMajority(),
+            balanced(1000, 4),
+            SupportRunnerUp(0),
+            seed=1,
+        )
+        for _ in range(5000):
+            engine.step()
+            if engine.is_consensus():
+                break
+        assert engine.is_consensus()
+
+    def test_large_budget_stalls(self):
+        """A budget ~n/8 per round pins the top two together."""
+        engine = AdversarialPopulationEngine(
+            ThreeMajority(),
+            balanced(800, 2),
+            SupportRunnerUp(100),
+            seed=2,
+        )
+        for _ in range(2000):
+            engine.step()
+        assert not engine.is_consensus()
+
+    def test_small_budget_still_converges_nearly(self):
+        """F = 1 cannot stop the leader from taking all but O(1)."""
+        engine = AdversarialPopulationEngine(
+            ThreeMajority(),
+            two_block(2000, 4, 0.5),
+            SupportRunnerUp(1),
+            seed=3,
+        )
+        for _ in range(4000):
+            engine.step()
+            if engine.counts.max() >= 2000 - 4:
+                break
+        assert engine.counts.max() >= 2000 - 4

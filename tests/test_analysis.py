@@ -1,0 +1,241 @@
+"""Tests for the analysis layer: estimators, scaling, tables, trajectories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ComparisonRecord,
+    bootstrap_ci,
+    consensus_times,
+    envelope,
+    first_hitting_time,
+    fit_power_law,
+    fit_saturating_power_law,
+    format_table,
+    render_comparisons_markdown,
+    split_exponents,
+    success_probability,
+    summarize,
+    survival_curve,
+    wilson_interval,
+    write_csv,
+)
+from repro.engine import RunResult
+from repro.errors import ConfigurationError
+
+
+def _result(converged: bool, rounds: int, winner=None) -> RunResult:
+    return RunResult(
+        converged=converged,
+        rounds=rounds,
+        winner=winner,
+        final_counts=np.asarray([1]),
+    )
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.count == 5
+        assert stats.mean == 3.0
+        assert stats.median == 3.0
+        assert stats.minimum == 1.0 and stats.maximum == 5.0
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestConsensusTimes:
+    def test_filters_unconverged(self):
+        results = [_result(True, 5), _result(False, 99), _result(True, 7)]
+        assert consensus_times(results).tolist() == [5.0, 7.0]
+
+    def test_require_all(self):
+        results = [_result(True, 5), _result(False, 99)]
+        with pytest.raises(ConfigurationError, match="did not converge"):
+            consensus_times(results, require_all=True)
+
+
+class TestBootstrap:
+    def test_ci_contains_point_estimate(self):
+        data = np.arange(100, dtype=float)
+        low, high = bootstrap_ci(data, np.median, seed=0)
+        assert low <= np.median(data) <= high
+
+    def test_reproducible(self):
+        data = np.arange(50, dtype=float)
+        assert bootstrap_ci(data, seed=3) == bootstrap_ci(data, seed=3)
+
+    def test_narrow_for_constant_data(self):
+        low, high = bootstrap_ci([5.0] * 30, seed=0)
+        assert low == high == 5.0
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+
+class TestWilson:
+    def test_symmetric_half(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert abs((0.5 - low) - (high - 0.5)) < 1e-6
+
+    def test_extremes_stay_in_unit(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0 and high > 0.0
+        low, high = wilson_interval(20, 20)
+        assert high == 1.0 and low < 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(10, 5)
+
+
+class TestSuccessProbability:
+    def test_counts_predicate(self):
+        results = [
+            _result(True, 3, winner=0),
+            _result(True, 4, winner=1),
+            _result(False, 9),
+        ]
+        stats = success_probability(
+            results, lambda r: r.converged and r.winner == 0
+        )
+        assert stats["successes"] == 1
+        assert stats["trials"] == 3
+        assert 0.0 <= stats["low"] <= stats["probability"] <= stats["high"]
+
+
+class TestPowerLawFits:
+    def test_exact_power_law_recovered(self):
+        x = np.asarray([1.0, 2.0, 4.0, 8.0, 16.0])
+        y = 3.0 * x**1.5
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(1.5)
+        assert fit.amplitude == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        x = np.asarray([1.0, 2.0, 4.0])
+        fit = fit_power_law(x, 2.0 * x)
+        assert fit.predict([8.0])[0] == pytest.approx(16.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1.0], [1.0])
+
+    def test_saturating_fit_finds_crossover(self):
+        x = np.asarray([1, 2, 4, 8, 16, 32, 64, 128, 256], dtype=float)
+        y = np.minimum(2.0 * x, 60.0)
+        fit = fit_saturating_power_law(x, y)
+        assert fit.exponent == pytest.approx(1.0, abs=0.1)
+        assert fit.plateau == pytest.approx(60.0, rel=0.1)
+        assert fit.crossover == pytest.approx(30.0, rel=0.3)
+
+    def test_saturating_fit_pure_power_law(self):
+        x = np.asarray([1, 2, 4, 8, 16], dtype=float)
+        fit = fit_saturating_power_law(x, 5.0 * x)
+        assert fit.exponent == pytest.approx(1.0, abs=0.05)
+        # No crossover inside the data range.
+        assert fit.crossover > x.max()
+
+    def test_split_exponents_detect_plateau(self):
+        x = np.asarray([1, 2, 4, 8, 16, 32, 64, 128], dtype=float)
+        y = np.minimum(x, 8.0)
+        low, high = split_exponents(x, y)
+        assert low > 0.8
+        assert high < 0.2
+
+    def test_split_exponents_need_four_points(self):
+        with pytest.raises(ConfigurationError):
+            split_exponents([1.0, 2.0, 4.0], [1.0, 2.0, 4.0])
+
+
+class TestTables:
+    def test_format_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 2.5]]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert all("|" in line for line in (lines[0], lines[2]))
+
+    def test_format_title(self):
+        table = format_table(["x"], [[1]], title="T")
+        assert table.splitlines()[0] == "T"
+
+    def test_format_floats(self):
+        table = format_table(["v"], [[0.000012], [123456.0], [1.5]])
+        assert "1.200e-05" in table
+        assert "1.235e+05" in table
+        assert "1.5" in table
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(
+            tmp_path / "sub" / "out.csv", ["a", "b"], [[1, 2], [3, 4]]
+        )
+        content = path.read_text().strip().splitlines()
+        assert content == ["a,b", "1,2", "3,4"]
+
+
+class TestComparisonRecord:
+    def test_verdict_validated(self):
+        with pytest.raises(ValueError):
+            ComparisonRecord("x", "claim", "measured", "maybe")
+
+    def test_markdown_render(self):
+        records = [ComparisonRecord("fig1", "c", "m", "match")]
+        out = render_comparisons_markdown(records)
+        assert "| fig1 | c | m | match |" in out
+
+
+class TestTrajectories:
+    def test_first_hitting_up(self):
+        series = np.asarray([0.1, 0.2, 0.5, 0.4])
+        assert first_hitting_time(series, 0.5, "up") == 2
+
+    def test_first_hitting_down(self):
+        series = np.asarray([0.9, 0.5, 0.1])
+        assert first_hitting_time(series, 0.2, "down") == 2
+
+    def test_never_hits(self):
+        assert first_hitting_time(np.asarray([0.1, 0.2]), 0.9) is None
+
+    def test_bad_direction(self):
+        with pytest.raises(ConfigurationError):
+            first_hitting_time(np.asarray([1.0]), 0.5, "sideways")
+
+    def test_survival_curve(self):
+        curve = survival_curve([2, 5, None], horizon=6)
+        assert curve[0] == pytest.approx(1.0)
+        assert curve[2] == pytest.approx(2 / 3)
+        assert curve[5] == pytest.approx(1 / 3)
+        assert curve[6] == pytest.approx(1 / 3)
+
+    def test_envelope(self):
+        bands = envelope([[1, 2, 3], [3, 2, 1]])
+        assert bands["min"].tolist() == [1, 2, 1]
+        assert bands["max"].tolist() == [3, 2, 3]
+        assert bands["median"].tolist() == [2.0, 2.0, 2.0]
+
+    def test_envelope_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            envelope([[1, 2], [1, 2, 3]])

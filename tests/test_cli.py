@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig1", "thm11", "table1", "adv"):
+            assert experiment_id in out
+
+    def test_lists_dynamics(self, capsys):
+        assert main(["dynamics"]) == 0
+        out = capsys.readouterr().out
+        assert "3-majority" in out
+        assert "2-choices" in out
+
+
+class TestRun:
+    def test_run_prints_table_and_verdicts(self, capsys):
+        main(["run", "lem41", "--preset", "micro"])
+        out = capsys.readouterr().out
+        assert "[lem41]" in out
+        assert "| verdict |" in out
+        assert "elapsed" in out
+
+    def test_run_csv_output(self, tmp_path, capsys):
+        main(
+            [
+                "run",
+                "table1",
+                "--preset",
+                "micro",
+                "--csv",
+                str(tmp_path),
+            ]
+        )
+        assert (tmp_path / "table1.csv").exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not-an-experiment"])
+
+    def test_seed_flag(self, capsys):
+        code = main(["run", "table1", "--preset", "micro", "--seed", "3"])
+        assert code in (0, 1)
+
+
+class TestSimulate:
+    def test_runs_to_consensus(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--dynamics",
+                "3-majority",
+                "--n",
+                "512",
+                "--k",
+                "4",
+                "--seed",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consensus on opinion" in out
+        assert "gamma=" in out
+
+    def test_budget_exhaustion_exit_code(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--n",
+                "4096",
+                "--k",
+                "512",
+                "--max-rounds",
+                "2",
+            ]
+        )
+        assert code == 1
+        assert "no consensus" in capsys.readouterr().out
+
+    def test_zipf_config(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--n",
+                "512",
+                "--k",
+                "8",
+                "--config",
+                "zipf",
+            ]
+        )
+        assert code == 0
+
+
+class TestReport:
+    def test_writes_markdown(self, tmp_path, capsys):
+        output = tmp_path / "EXPERIMENTS.md"
+        code = main(
+            [
+                "report",
+                "--preset",
+                "micro",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code in (0, 1)
+        body = output.read_text()
+        assert "# EXPERIMENTS" in body
+        assert "## Verdict summary" in body
+        for experiment_id in ("fig1", "thm11", "table1"):
+            assert f"## {experiment_id}" in body
+        assert "| verdict |" in body
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,168 @@
+"""Tests for initial-configuration generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configs import (
+    balanced,
+    biased,
+    custom,
+    dirichlet_random,
+    geometric_gamma,
+    two_block,
+    zipf,
+)
+from repro.errors import ConfigurationError
+from repro.state import gamma_from_counts
+
+nk = st.tuples(
+    st.integers(min_value=2, max_value=2000),
+    st.integers(min_value=1, max_value=50),
+).filter(lambda t: t[0] >= t[1])
+
+
+class TestBalanced:
+    def test_exact_division(self):
+        assert balanced(100, 4).tolist() == [25, 25, 25, 25]
+
+    def test_remainder_distribution(self):
+        counts = balanced(10, 3)
+        assert counts.tolist() == [4, 3, 3]
+
+    @given(nk)
+    @settings(max_examples=100, deadline=None)
+    def test_properties(self, t):
+        n, k = t
+        counts = balanced(n, k)
+        assert counts.sum() == n
+        assert counts.size == k
+        assert counts.max() - counts.min() <= 1
+        assert counts.min() >= 1
+
+    def test_rejects_n_below_k(self):
+        with pytest.raises(ConfigurationError, match="n >= k"):
+            balanced(3, 5)
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ConfigurationError):
+            balanced(10, 0)
+
+
+class TestBiased:
+    def test_margin_zero_is_balanced(self):
+        assert biased(100, 4, 0.0).tolist() == balanced(100, 4).tolist()
+
+    def test_margin_moves_mass_to_leader(self):
+        counts = biased(1000, 10, 0.1)
+        assert counts.sum() == 1000
+        assert counts[0] >= 100 + 90  # lead plus moved mass
+        assert np.all(counts[1:] >= 1)  # validity preserved
+
+    def test_leader_margin_over_all(self):
+        counts = biased(10_000, 10, 0.05)
+        margins = counts[0] - counts[1:]
+        assert np.all(margins >= 0.04 * 10_000)
+
+    def test_rejects_margin_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            biased(100, 4, 1.5)
+
+    def test_k1_noop(self):
+        assert biased(50, 1, 0.2).tolist() == [50]
+
+
+class TestTwoBlock:
+    def test_leader_fraction(self):
+        counts = two_block(1000, 5, 0.4)
+        assert counts[0] == 400
+        assert counts.sum() == 1000
+        assert counts.size == 5
+
+    def test_remainder_balanced(self):
+        counts = two_block(1000, 5, 0.4)
+        assert counts[1:].max() - counts[1:].min() <= 1
+
+    def test_extreme_fraction_clamped(self):
+        counts = two_block(100, 10, 0.999)
+        assert counts.sum() == 100
+        assert np.all(counts >= 1)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            two_block(100, 5, 0.0)
+
+
+class TestZipf:
+    def test_total_and_validity(self):
+        counts = zipf(1000, 20, 1.0)
+        assert counts.sum() == 1000
+        assert np.all(counts >= 1)
+
+    def test_monotone_profile(self):
+        counts = zipf(10_000, 10, 1.5)
+        assert np.all(np.diff(counts) <= 0)
+
+    def test_exponent_zero_near_balanced(self):
+        counts = zipf(1000, 8, 0.0)
+        assert counts.max() - counts.min() <= 1
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ConfigurationError):
+            zipf(100, 5, -1.0)
+
+
+class TestDirichlet:
+    def test_total_and_validity(self):
+        counts = dirichlet_random(500, 12, 1.0, seed=0)
+        assert counts.sum() == 500
+        assert np.all(counts >= 1)
+
+    def test_reproducible(self):
+        a = dirichlet_random(500, 12, 1.0, seed=1)
+        b = dirichlet_random(500, 12, 1.0, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_concentration_effect(self):
+        skewed = dirichlet_random(100_000, 10, 0.05, seed=2)
+        flat = dirichlet_random(100_000, 10, 100.0, seed=2)
+        assert gamma_from_counts(skewed) > gamma_from_counts(flat)
+
+    def test_rejects_bad_concentration(self):
+        with pytest.raises(ConfigurationError):
+            dirichlet_random(100, 5, 0.0)
+
+
+class TestGeometricGamma:
+    @pytest.mark.parametrize("target", [0.02, 0.1, 0.5, 0.9])
+    def test_hits_target(self, target):
+        counts = geometric_gamma(100_000, 100, target)
+        assert gamma_from_counts(counts) == pytest.approx(
+            target, rel=0.05
+        )
+
+    def test_rejects_below_floor(self):
+        with pytest.raises(ConfigurationError, match="1/k"):
+            geometric_gamma(1000, 10, 0.05)
+
+    def test_rejects_one(self):
+        with pytest.raises(ConfigurationError):
+            geometric_gamma(1000, 10, 1.0)
+
+    def test_k1(self):
+        assert geometric_gamma(100, 1, 1.0 - 1e-9).tolist() == [100]
+
+
+class TestCustom:
+    def test_copies_input(self):
+        original = np.asarray([5, 5], dtype=np.int64)
+        out = custom(original)
+        out[0] = 99
+        assert original[0] == 5
+
+    def test_validates(self):
+        with pytest.raises(Exception):
+            custom([-1, 2])

@@ -1,0 +1,211 @@
+"""Tests for the engines: population, agent, asynchronous."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.configs import balanced, two_block
+from repro.core import ThreeMajority, TwoChoices, Voter
+from repro.engine import (
+    AgentEngine,
+    AsyncPopulationEngine,
+    PopulationEngine,
+)
+from repro.errors import ConfigurationError, StateError
+from repro.graphs import CompleteGraph, cycle_graph
+from repro.state import counts_to_agents
+
+
+class TestPopulationEngine:
+    def test_initial_state(self):
+        engine = PopulationEngine(ThreeMajority(), [10, 20, 30], seed=0)
+        assert engine.num_vertices == 60
+        assert engine.num_opinions == 3
+        assert engine.round_index == 0
+        assert engine.alive == 3
+        assert not engine.is_consensus()
+        assert engine.winner() is None
+
+    def test_input_not_aliased(self):
+        counts = np.asarray([30, 30], dtype=np.int64)
+        engine = PopulationEngine(ThreeMajority(), counts, seed=0)
+        engine.step()
+        assert counts.tolist() == [30, 30]
+
+    def test_step_advances_round(self):
+        engine = PopulationEngine(ThreeMajority(), [50, 50], seed=0)
+        engine.step()
+        assert engine.round_index == 1
+        assert engine.counts.sum() == 100
+
+    def test_run_fixed_rounds(self):
+        engine = PopulationEngine(Voter(), [500, 500], seed=0)
+        engine.run(10)
+        assert engine.round_index == 10
+
+    def test_alpha_and_gamma(self):
+        engine = PopulationEngine(ThreeMajority(), [25, 75], seed=0)
+        assert engine.alpha.tolist() == [0.25, 0.75]
+        assert engine.gamma == pytest.approx(0.0625 + 0.5625)
+
+    def test_consensus_and_winner(self):
+        engine = PopulationEngine(ThreeMajority(), [0, 7], seed=0)
+        assert engine.is_consensus()
+        assert engine.winner() == 1
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(StateError):
+            PopulationEngine(ThreeMajority(), [-1, 2], seed=0)
+
+    def test_deterministic_given_seed(self):
+        runs = []
+        for _ in range(2):
+            engine = PopulationEngine(
+                ThreeMajority(), balanced(1000, 10), seed=77
+            )
+            engine.run(20)
+            runs.append(engine.counts.copy())
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_reaches_consensus_eventually(self):
+        engine = PopulationEngine(
+            ThreeMajority(), balanced(2000, 8), seed=5
+        )
+        for _ in range(5000):
+            if engine.is_consensus():
+                break
+            engine.step()
+        assert engine.is_consensus()
+
+
+class TestAgentEngine:
+    def test_requires_matching_sizes(self):
+        with pytest.raises(ConfigurationError, match="vertices"):
+            AgentEngine(
+                ThreeMajority(),
+                CompleteGraph(5),
+                np.zeros(4, dtype=np.int64),
+            )
+
+    def test_counts_view(self):
+        opinions = np.asarray([0, 1, 1, 2], dtype=np.int64)
+        engine = AgentEngine(
+            ThreeMajority(), CompleteGraph(4), opinions, num_opinions=4
+        )
+        assert engine.counts.tolist() == [1, 2, 1, 0]
+        assert engine.num_opinions == 4
+
+    def test_num_opinions_inferred(self):
+        opinions = np.asarray([0, 3], dtype=np.int64)
+        engine = AgentEngine(ThreeMajority(), CompleteGraph(2), opinions)
+        assert engine.num_opinions == 4
+
+    def test_step_and_round(self):
+        engine = AgentEngine(
+            ThreeMajority(),
+            CompleteGraph(50),
+            counts_to_agents(balanced(50, 5)),
+            seed=0,
+        )
+        engine.step()
+        assert engine.round_index == 1
+        assert engine.counts.sum() == 50
+
+    def test_consensus_on_cycle(self):
+        """Dynamics work on sparse graphs too (slower, but correct)."""
+        graph = cycle_graph(30, self_loops=True)
+        engine = AgentEngine(
+            TwoChoices(),
+            graph,
+            counts_to_agents(np.asarray([15, 15])),
+            seed=3,
+        )
+        for _ in range(20_000):
+            if engine.is_consensus():
+                break
+            engine.step()
+        assert engine.is_consensus()
+
+    def test_gamma_alpha_alive(self):
+        engine = AgentEngine(
+            ThreeMajority(),
+            CompleteGraph(4),
+            np.asarray([0, 0, 1, 1], dtype=np.int64),
+            num_opinions=2,
+        )
+        assert engine.alive == 2
+        assert engine.gamma == pytest.approx(0.5)
+        assert engine.alpha.tolist() == [0.5, 0.5]
+
+
+class TestAsyncPopulationEngine:
+    def test_one_tick_moves_at_most_one(self):
+        engine = AsyncPopulationEngine(
+            ThreeMajority(), [50, 50], seed=0
+        )
+        before = engine.counts.copy()
+        engine.step()
+        moved = np.abs(engine.counts - before).sum()
+        assert moved in (0, 2)
+        assert engine.tick_index == 1
+
+    def test_round_index_fractional(self):
+        engine = AsyncPopulationEngine(ThreeMajority(), [5, 5], seed=0)
+        engine.run_ticks(5)
+        assert engine.round_index == pytest.approx(0.5)
+
+    def test_run_until_consensus(self):
+        engine = AsyncPopulationEngine(
+            ThreeMajority(), balanced(200, 4), seed=1
+        )
+        ticks = engine.run_until_consensus(max_ticks=2_000_000)
+        assert ticks is not None
+        assert engine.is_consensus()
+        assert engine.winner() is not None
+
+    def test_budget_exhaustion_returns_none(self):
+        engine = AsyncPopulationEngine(
+            ThreeMajority(), balanced(1000, 500), seed=1
+        )
+        assert engine.run_until_consensus(max_ticks=3) is None
+
+    def test_already_consensus(self):
+        engine = AsyncPopulationEngine(ThreeMajority(), [0, 10], seed=0)
+        assert engine.run_until_consensus(100) == 0
+
+    def test_two_choices_async_uses_generic_path(self):
+        engine = AsyncPopulationEngine(
+            TwoChoices(), balanced(100, 2), seed=2
+        )
+        ticks = engine.run_until_consensus(max_ticks=1_000_000)
+        assert ticks is not None
+
+    def test_mass_conserved_across_ticks(self):
+        engine = AsyncPopulationEngine(
+            ThreeMajority(), balanced(300, 7), seed=4
+        )
+        engine.run_ticks(500)
+        assert engine.counts.sum() == 300
+        assert np.all(engine.counts >= 0)
+
+    def test_async_matches_sync_scaling(self):
+        """ticks/n should be within a constant factor of sync rounds."""
+        sync_rounds = []
+        async_rounds = []
+        for seed in range(3):
+            pop = PopulationEngine(
+                ThreeMajority(), two_block(400, 4, 0.5), seed=seed
+            )
+            rounds = 0
+            while not pop.is_consensus():
+                pop.step()
+                rounds += 1
+            sync_rounds.append(rounds)
+            asy = AsyncPopulationEngine(
+                ThreeMajority(), two_block(400, 4, 0.5), seed=seed
+            )
+            ticks = asy.run_until_consensus(10_000_000)
+            async_rounds.append(ticks / 400)
+        ratio = np.median(async_rounds) / max(np.median(sync_rounds), 1)
+        assert 0.1 < ratio < 10.0

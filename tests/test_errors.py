@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ConsensusNotReached,
+    GraphError,
+    ReproError,
+    StateError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(ConfigurationError, ReproError)
+    assert issubclass(StateError, ReproError)
+    assert issubclass(ConsensusNotReached, ReproError)
+    assert issubclass(GraphError, ReproError)
+
+
+def test_value_error_compatibility():
+    """Config/state errors double as ValueError for generic callers."""
+    assert issubclass(ConfigurationError, ValueError)
+    assert issubclass(StateError, ValueError)
+    assert issubclass(ConsensusNotReached, RuntimeError)
+
+
+def test_consensus_not_reached_carries_rounds():
+    err = ConsensusNotReached(42)
+    assert err.rounds == 42
+    assert "42" in str(err)
+
+
+def test_consensus_not_reached_custom_message():
+    err = ConsensusNotReached(7, "custom")
+    assert str(err) == "custom"
+
+
+def test_single_catch_point():
+    with pytest.raises(ReproError):
+        raise StateError("boom")

@@ -1,0 +1,103 @@
+"""Smoke + contract tests for the experiment harness (micro presets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult, require_preset
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_experiment,
+)
+
+ALL_IDS = sorted(EXPERIMENTS)
+
+
+class TestRegistry:
+    def test_all_design_doc_ids_present(self):
+        expected = {
+            "fig1",
+            "table1",
+            "fig2",
+            "thm11",
+            "thm21",
+            "thm22",
+            "thm26",
+            "thm27",
+            "lem41",
+            "rem25",
+            "async",
+            "adv",
+            "ext",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            get_experiment("nope")
+
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_module_contract(self, experiment_id):
+        module = get_experiment(experiment_id)
+        assert hasattr(module, "run")
+        assert hasattr(module, "PRESETS")
+        assert hasattr(module, "TITLE")
+        assert "quick" in module.PRESETS
+        assert "paper" in module.PRESETS
+        assert "micro" in module.PRESETS
+
+    def test_require_preset_error(self):
+        with pytest.raises(ConfigurationError, match="unknown preset"):
+            require_preset({"quick": {}}, "huge")
+
+    def test_require_preset_copies(self):
+        presets = {"quick": {"n": 1}}
+        out = require_preset(presets, "quick")
+        out["n"] = 99
+        assert presets["quick"]["n"] == 1
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_experiment_micro_run(experiment_id):
+    """Every experiment runs end-to-end at micro scale and reports."""
+    result = run_experiment(experiment_id, preset="micro", seed=0)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.rows, "experiment produced no rows"
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+    table = result.table()
+    assert result.experiment_id in table
+    # Micro scale is too small for the asymptotic shape checks to be
+    # meaningful, so only the machinery is asserted here, not verdicts.
+    for comparison in result.comparisons:
+        assert comparison.verdict in ("match", "partial", "mismatch")
+
+
+def test_experiment_result_csv(tmp_path):
+    result = run_experiment("lem41", preset="micro", seed=0)
+    path = result.save_csv(tmp_path)
+    assert path.exists()
+    header = path.read_text().splitlines()[0]
+    assert header.split(",")[0] == result.headers[0]
+
+
+def test_experiment_reproducible():
+    a = run_experiment("thm27", preset="micro", seed=5)
+    b = run_experiment("thm27", preset="micro", seed=5)
+    assert a.rows == b.rows
+
+
+def test_lem41_micro_moments_match():
+    """Even at micro scale, Lemma 4.1's closed forms must hold."""
+    result = run_experiment("lem41", preset="micro", seed=1)
+    mean_check = result.comparisons[0]
+    assert mean_check.verdict == "match", mean_check
+
+
+def test_table1_micro_no_violations():
+    """The Table 1 drift inequalities are exact; scale-independent."""
+    result = run_experiment("table1", preset="micro", seed=1)
+    assert result.comparisons[0].verdict == "match", result.comparisons[0]

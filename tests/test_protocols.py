@@ -1,0 +1,177 @@
+"""Tests for the population-protocol substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols import (
+    ApproximateMajority,
+    PairwiseEngine,
+    UndecidedPairwise,
+    VoterPairwise,
+)
+
+
+class TestEngineBasics:
+    def test_requires_matching_state_count(self):
+        with pytest.raises(ConfigurationError, match="states"):
+            PairwiseEngine(ApproximateMajority(), [10, 10])
+
+    def test_requires_two_agents(self):
+        with pytest.raises(ConfigurationError, match="2 agents"):
+            PairwiseEngine(ApproximateMajority(), [1, 0, 0])
+
+    def test_step_conserves_agents(self):
+        engine = PairwiseEngine(
+            ApproximateMajority(), [30, 20, 10], seed=0
+        )
+        for _ in range(200):
+            engine.step()
+            assert engine.counts.sum() == 60
+            assert np.all(engine.counts >= 0)
+
+    def test_parallel_time(self):
+        engine = PairwiseEngine(
+            ApproximateMajority(), [5, 5, 0], seed=0
+        )
+        engine.run_interactions(20)
+        assert engine.parallel_time == pytest.approx(2.0)
+
+    def test_consensus_detection_with_blanks(self):
+        protocol = ApproximateMajority()
+        engine = PairwiseEngine(protocol, [10, 0, 0], seed=0)
+        assert engine.is_consensus()
+        assert engine.winner() == 0
+        # Blanks present: output consensus not yet reached.
+        engine = PairwiseEngine(protocol, [9, 0, 1], seed=0)
+        assert not engine.is_consensus()
+        assert engine.winner() is None
+
+    def test_run_until_consensus_budget(self):
+        engine = PairwiseEngine(
+            ApproximateMajority(), [500, 500, 0], seed=0
+        )
+        assert engine.run_until_consensus(max_interactions=1) is None
+
+
+class TestApproximateMajority:
+    def test_rules(self, rng):
+        protocol = ApproximateMajority()
+        A, B, BLANK = protocol.A, protocol.B, protocol.BLANK
+        assert protocol.interact(A, B, rng) == (A, BLANK)
+        assert protocol.interact(B, A, rng) == (B, BLANK)
+        assert protocol.interact(A, BLANK, rng) == (A, A)
+        assert protocol.interact(B, BLANK, rng) == (B, B)
+        assert protocol.interact(A, A, rng) == (A, A)
+        assert protocol.interact(BLANK, A, rng) == (BLANK, A)
+
+    def test_converges_to_clear_majority(self):
+        """[AAE07]: a large initial gap decides for the majority."""
+        n = 1000
+        wins = 0
+        runs = 8
+        for seed in range(runs):
+            engine = PairwiseEngine(
+                ApproximateMajority(),
+                ApproximateMajority.initial_counts(650, 350),
+                seed=(1, seed),
+            )
+            result = engine.run_until_consensus(
+                max_interactions=200 * n
+            )
+            assert result is not None
+            wins += engine.winner() == ApproximateMajority.A
+        assert wins == runs
+
+    def test_parallel_time_logarithmic_shape(self):
+        """Consensus in O(log n) parallel time: doubling n does not
+        double the parallel time."""
+
+        def median_parallel_time(n):
+            times = []
+            for seed in range(5):
+                engine = PairwiseEngine(
+                    ApproximateMajority(),
+                    ApproximateMajority.initial_counts(
+                        2 * n // 3, n // 3
+                    ),
+                    seed=(2, n, seed),
+                )
+                result = engine.run_until_consensus(400 * n)
+                assert result is not None
+                times.append(result / n)
+            return float(np.median(times))
+
+        small = median_parallel_time(250)
+        large = median_parallel_time(1000)
+        assert large < 2.5 * small
+
+    def test_initial_counts_helper(self):
+        counts = ApproximateMajority.initial_counts(3, 4, 5)
+        assert counts.tolist() == [3, 4, 5]
+
+
+class TestUndecidedPairwise:
+    def test_rules(self, rng):
+        protocol = UndecidedPairwise(3)
+        undecided = 3
+        assert protocol.interact(undecided, 1, rng) == (1, 1)
+        assert protocol.interact(undecided, undecided, rng) == (
+            undecided,
+            undecided,
+        )
+        assert protocol.interact(0, 1, rng) == (undecided, 1)
+        assert protocol.interact(0, 0, rng) == (0, 0)
+        assert protocol.interact(0, undecided, rng) == (0, undecided)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UndecidedPairwise(0)
+
+    def test_consensus_from_biased_start(self):
+        counts = np.asarray([260, 120, 120, 0], dtype=np.int64)
+        engine = PairwiseEngine(UndecidedPairwise(3), counts, seed=5)
+        result = engine.run_until_consensus(max_interactions=500_000)
+        assert result is not None
+        assert engine.winner() in (0, 1, 2)
+
+    def test_outputs_hide_undecided(self):
+        protocol = UndecidedPairwise(2)
+        assert protocol.output(0) == 0
+        assert protocol.output(2) is None
+
+
+class TestVoterPairwise:
+    def test_rules(self, rng):
+        protocol = VoterPairwise(4)
+        assert protocol.interact(0, 3, rng) == (3, 3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VoterPairwise(0)
+
+    def test_consensus_much_slower_than_approximate_majority(self):
+        """Voter needs Theta(n) parallel time vs O(log n) for AM."""
+        n = 400
+        voter_times = []
+        am_times = []
+        for seed in range(3):
+            voter = PairwiseEngine(
+                VoterPairwise(2),
+                np.asarray([n // 2, n // 2]),
+                seed=(7, seed),
+            )
+            result = voter.run_until_consensus(5000 * n)
+            assert result is not None
+            voter_times.append(result / n)
+            am = PairwiseEngine(
+                ApproximateMajority(),
+                ApproximateMajority.initial_counts(n // 2, n // 2),
+                seed=(8, seed),
+            )
+            result = am.run_until_consensus(5000 * n)
+            assert result is not None
+            am_times.append(result / n)
+        assert np.median(voter_times) > 3 * np.median(am_times)

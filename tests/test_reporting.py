@@ -1,0 +1,66 @@
+"""Unit tests for the EXPERIMENTS.md generator."""
+
+from __future__ import annotations
+
+from repro.analysis.comparison import ComparisonRecord
+from repro.analysis.reporting import render_experiments_markdown
+from repro.experiments.base import ExperimentResult
+
+
+def _result(experiment_id: str, verdicts: list[str]) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"title of {experiment_id}",
+        preset="paper",
+        headers=["a", "b"],
+        rows=[[1, 2], [3, 4]],
+        comparisons=[
+            ComparisonRecord(experiment_id, f"claim {i}", "measured", v)
+            for i, v in enumerate(verdicts)
+        ],
+        notes="some notes",
+    )
+
+
+class TestRenderExperimentsMarkdown:
+    def test_header_and_sections(self):
+        body = render_experiments_markdown(
+            [_result("fig1", ["match"])], preset="paper"
+        )
+        assert body.startswith("# EXPERIMENTS")
+        assert "--preset paper" in body
+        assert "## fig1 — title of fig1" in body
+        assert "some notes" in body
+        assert "| claim 0 |" in body
+
+    def test_summary_counts(self):
+        body = render_experiments_markdown(
+            [_result("x", ["match", "partial", "match"])], preset="quick"
+        )
+        assert "| x | title of x | 2/3 match | partial |" in body
+
+    def test_overall_states(self):
+        body = render_experiments_markdown(
+            [
+                _result("all-good", ["match", "match"]),
+                _result("has-partial", ["match", "partial"]),
+                _result("has-bad", ["mismatch"]),
+            ],
+            preset="quick",
+        )
+        assert "| all-good | title of all-good | 2/2 match | match |" in body
+        assert "| has-bad | title of has-bad | 0/1 match | mismatch |" in body
+
+    def test_elapsed_rendered(self):
+        body = render_experiments_markdown(
+            [_result("fig1", ["match"])],
+            preset="paper",
+            elapsed={"fig1": 12.34},
+        )
+        assert "Wall-clock: 12.3s" in body
+
+    def test_table_in_code_block(self):
+        body = render_experiments_markdown(
+            [_result("fig1", ["match"])], preset="paper"
+        )
+        assert "```\n[fig1]" in body

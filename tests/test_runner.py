@@ -1,0 +1,163 @@
+"""Tests for run control: run_until_consensus, replicate, observers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.configs import balanced
+from repro.core import ThreeMajority, Voter
+from repro.engine import (
+    FunctionObserver,
+    PopulationEngine,
+    TrajectoryRecorder,
+    replicate,
+    run_until_consensus,
+)
+from repro.errors import ConfigurationError, ConsensusNotReached
+
+
+class TestRunUntilConsensus:
+    def test_converges_and_reports(self):
+        engine = PopulationEngine(
+            ThreeMajority(), balanced(1000, 5), seed=0
+        )
+        result = run_until_consensus(engine, max_rounds=5000)
+        assert result.converged
+        assert result.consensus_time == result.rounds
+        assert result.winner in range(5)
+        assert result.final_counts.max() == 1000
+
+    def test_budget_returns_unconverged(self):
+        engine = PopulationEngine(
+            ThreeMajority(), balanced(10_000, 100), seed=0
+        )
+        result = run_until_consensus(engine, max_rounds=2)
+        assert not result.converged
+        assert result.consensus_time is None
+        assert result.rounds == 2
+        assert result.winner is None
+
+    def test_budget_raise_mode(self):
+        engine = PopulationEngine(
+            ThreeMajority(), balanced(10_000, 100), seed=0
+        )
+        with pytest.raises(ConsensusNotReached):
+            run_until_consensus(engine, max_rounds=2, on_budget="raise")
+
+    def test_bad_on_budget(self):
+        engine = PopulationEngine(ThreeMajority(), [5, 5], seed=0)
+        with pytest.raises(ConfigurationError):
+            run_until_consensus(engine, 10, on_budget="explode")
+
+    def test_negative_budget(self):
+        engine = PopulationEngine(ThreeMajority(), [5, 5], seed=0)
+        with pytest.raises(ConfigurationError):
+            run_until_consensus(engine, -1)
+
+    def test_already_at_consensus(self):
+        engine = PopulationEngine(ThreeMajority(), [0, 10], seed=0)
+        result = run_until_consensus(engine, max_rounds=100)
+        assert result.converged
+        assert result.rounds == 0
+        assert result.winner == 1
+
+    def test_custom_target(self):
+        engine = PopulationEngine(
+            ThreeMajority(), balanced(1000, 4), seed=0
+        )
+        result = run_until_consensus(
+            engine,
+            max_rounds=5000,
+            target=lambda c: c.max() >= 600,
+        )
+        assert result.converged
+        assert result.final_counts.max() >= 600
+
+    def test_observers_see_every_round(self):
+        seen = []
+        obs = FunctionObserver(lambda r, c: seen.append(r))
+        engine = PopulationEngine(
+            ThreeMajority(), balanced(500, 4), seed=0
+        )
+        result = run_until_consensus(
+            engine, max_rounds=5000, observers=(obs,)
+        )
+        assert seen == list(range(result.rounds + 1))
+
+    def test_final_counts_is_copy(self):
+        engine = PopulationEngine(ThreeMajority(), [0, 10], seed=0)
+        result = run_until_consensus(engine, max_rounds=1)
+        result.final_counts[0] = 99
+        assert engine.counts[0] == 0
+
+
+class TestTrajectoryRecorder:
+    def test_records_gamma_and_alive(self):
+        recorder = TrajectoryRecorder()
+        engine = PopulationEngine(
+            ThreeMajority(), balanced(500, 4), seed=0
+        )
+        result = run_until_consensus(
+            engine, max_rounds=5000, observers=(recorder,)
+        )
+        arrays = recorder.as_arrays()
+        assert arrays["round"].size == result.rounds + 1
+        assert arrays["gamma"][0] == pytest.approx(0.25)
+        assert arrays["gamma"][-1] == pytest.approx(1.0)
+        assert arrays["alive"][-1] == 1
+
+    def test_bias_and_max_alpha(self):
+        recorder = TrajectoryRecorder(
+            record_max_alpha=True, bias_pair=(0, 1)
+        )
+        engine = PopulationEngine(ThreeMajority(), [60, 40], seed=0)
+        run_until_consensus(engine, max_rounds=1, observers=(recorder,))
+        arrays = recorder.as_arrays()
+        assert arrays["bias"][0] == pytest.approx(0.2)
+        assert arrays["max_alpha"][0] == pytest.approx(0.6)
+
+    def test_snapshots_stride(self):
+        recorder = TrajectoryRecorder(counts_stride=2)
+        engine = PopulationEngine(Voter(), balanced(100, 3), seed=0)
+        for _ in range(5):
+            recorder.observe(engine.round_index, engine.counts)
+            engine.step()
+        rounds = [r for r, _ in recorder.snapshots]
+        assert rounds == [0, 2, 4]
+
+
+class TestReplicate:
+    def _factory(self, rng):
+        engine = PopulationEngine(
+            ThreeMajority(), balanced(500, 4), seed=rng
+        )
+        return run_until_consensus(engine, max_rounds=5000)
+
+    def test_num_runs(self):
+        results = replicate(self._factory, num_runs=4, seed=0)
+        assert len(results) == 4
+        assert all(r.converged for r in results)
+
+    def test_reproducible(self):
+        a = [r.rounds for r in replicate(self._factory, 3, seed=9)]
+        b = [r.rounds for r in replicate(self._factory, 3, seed=9)]
+        assert a == b
+
+    def test_runs_differ_across_streams(self):
+        results = replicate(self._factory, num_runs=8, seed=0)
+        winners = {r.winner for r in results}
+        times = {r.rounds for r in results}
+        assert len(winners) > 1 or len(times) > 1
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ConfigurationError):
+            replicate(self._factory, num_runs=0, seed=0)
+
+
+class TestRunResultMetrics:
+    def test_metrics_dict_attachable(self):
+        engine = PopulationEngine(ThreeMajority(), [0, 5], seed=0)
+        result = run_until_consensus(engine, max_rounds=1)
+        result.metrics["note"] = np.asarray([1, 2])
+        assert "note" in result.metrics

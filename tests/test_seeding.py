@@ -1,0 +1,97 @@
+"""Tests for repro.seeding: normalisation and stream independence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seeding import (
+    as_generator,
+    as_seed_sequence,
+    generator_stream,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_from_int_is_deterministic(self):
+        a = as_generator(7).random(4)
+        b = as_generator(7).random(4)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_from_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        a = as_generator(seq).random()
+        b = as_generator(np.random.SeedSequence(5)).random()
+        assert a == b
+
+    def test_from_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_from_tuple(self):
+        a = as_generator((1, 2)).random()
+        b = as_generator((1, 2)).random()
+        assert a == b
+
+    def test_tuple_components_matter(self):
+        assert as_generator((1, 2)).random() != as_generator((1, 3)).random()
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            as_generator("42")
+
+
+class TestAsSeedSequence:
+    def test_from_int(self):
+        assert isinstance(as_seed_sequence(3), np.random.SeedSequence)
+
+    def test_passthrough(self):
+        seq = np.random.SeedSequence(1)
+        assert as_seed_sequence(seq) is seq
+
+    def test_rejects_generator(self):
+        with pytest.raises(TypeError, match="Generator"):
+            as_seed_sequence(np.random.default_rng(0))
+
+    def test_rejects_mixed_tuple(self):
+        with pytest.raises(TypeError):
+            as_seed_sequence((1, "a"))
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_generators(0, -1)
+
+    def test_reproducible(self):
+        a = [g.random() for g in spawn_generators(9, 4)]
+        b = [g.random() for g in spawn_generators(9, 4)]
+        assert a == b
+
+    def test_streams_differ(self):
+        values = [g.random() for g in spawn_generators(9, 8)]
+        assert len(set(values)) == 8
+
+    def test_prefix_stability(self):
+        """Replica i gets the same stream regardless of total count."""
+        few = [g.random() for g in spawn_generators(1, 3)]
+        many = [g.random() for g in spawn_generators(1, 6)]
+        assert few == many[:3]
+
+
+class TestGeneratorStream:
+    def test_matches_spawn(self):
+        stream = generator_stream(4)
+        streamed = [next(stream).random() for _ in range(3)]
+        spawned = [g.random() for g in spawn_generators(4, 3)]
+        assert streamed == spawned

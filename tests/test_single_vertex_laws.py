@@ -1,0 +1,118 @@
+"""Property tests: every closed-form single-vertex law is a distribution.
+
+The asynchronous engine and the theory cross-checks rely on
+``Dynamics.single_vertex_law``; these tests sweep random configurations
+with hypothesis and assert the basic probabilistic contracts, plus the
+consistency between each law and its ``expected_alpha_next``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HMajority,
+    MedianRule,
+    ThreeMajority,
+    TwoChoices,
+    UndecidedStateDynamics,
+    Voter,
+)
+
+alphas = st.lists(
+    st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=6
+).map(lambda raw: np.asarray(raw) / sum(raw))
+
+LAW_DYNAMICS = [
+    ThreeMajority(),
+    TwoChoices(),
+    Voter(),
+    MedianRule(),
+    HMajority(3),
+    HMajority(4),
+]
+
+
+@pytest.mark.parametrize(
+    "dynamics", LAW_DYNAMICS, ids=lambda d: d.name
+)
+class TestLawContracts:
+    @given(alpha=alphas)
+    @settings(max_examples=30, deadline=None)
+    def test_law_is_distribution(self, dynamics, alpha):
+        for current in range(alpha.size):
+            law = dynamics.single_vertex_law(alpha, current)
+            assert law.shape == alpha.shape
+            assert np.all(law >= -1e-12)
+            assert law.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(alpha=alphas)
+    @settings(max_examples=30, deadline=None)
+    def test_dead_opinions_stay_dead(self, dynamics, alpha):
+        padded = np.concatenate([alpha, [0.0]])
+        law = dynamics.single_vertex_law(padded, 0)
+        assert law[-1] == pytest.approx(0.0, abs=1e-12)
+
+    @given(alpha=alphas)
+    @settings(max_examples=20, deadline=None)
+    def test_mixture_matches_expected_alpha(self, dynamics, alpha):
+        """sum_m alpha_m * law(., m) == E[alpha'] (law of total prob.)."""
+        mixed = np.zeros_like(alpha)
+        for m in range(alpha.size):
+            mixed += alpha[m] * dynamics.single_vertex_law(alpha, int(m))
+        expected = dynamics.expected_alpha_next(alpha)
+        assert mixed == pytest.approx(expected, abs=1e-9)
+
+
+class TestUndecidedLawContract:
+    @given(alpha=alphas)
+    @settings(max_examples=30, deadline=None)
+    def test_law_is_distribution(self, alpha):
+        dynamics = UndecidedStateDynamics()
+        # Interpret the last entry as the undecided share.
+        for current in range(alpha.size):
+            law = dynamics.single_vertex_law(alpha, current)
+            assert law.sum() == pytest.approx(1.0, abs=1e-9)
+            assert np.all(law >= -1e-12)
+
+    @given(alpha=alphas)
+    @settings(max_examples=20, deadline=None)
+    def test_mixture_matches_expected(self, alpha):
+        dynamics = UndecidedStateDynamics()
+        mixed = np.zeros_like(alpha)
+        for m in range(alpha.size):
+            mixed += alpha[m] * dynamics.single_vertex_law(alpha, int(m))
+        assert mixed == pytest.approx(
+            dynamics.expected_alpha_next(alpha), abs=1e-9
+        )
+
+
+class TestAsyncConsistency:
+    """The generic async step must agree with the law it samples from."""
+
+    @pytest.mark.parametrize(
+        "dynamics",
+        [TwoChoices(), Voter(), MedianRule()],
+        ids=lambda d: d.name,
+    )
+    def test_async_single_tick_marginal(self, dynamics, rng):
+        counts = np.asarray([60, 40], dtype=np.int64)
+        n = 100
+        alpha = counts / n
+        # Expected change of count 0 over one tick:
+        # E[d c0] = sum_m alpha_m (law_m[0] - 1[m == 0]).
+        expected = 0.0
+        for m in range(2):
+            law = dynamics.single_vertex_law(alpha, m)
+            expected += alpha[m] * (law[0] - (1.0 if m == 0 else 0.0))
+        reps = 30_000
+        total = 0
+        for _ in range(reps):
+            work = counts.copy()
+            dynamics.async_population_step(work, rng)
+            total += work[0] - counts[0]
+        measured = total / reps
+        assert measured == pytest.approx(expected, abs=0.01)

@@ -1,0 +1,150 @@
+"""Tests for repro.state: representations, conversions, invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StateError
+from repro.state import (
+    agents_to_counts,
+    alpha_from_counts,
+    bias,
+    consensus_opinion,
+    counts_to_agents,
+    gamma_from_counts,
+    is_consensus,
+    num_alive,
+    support,
+    validate_agents,
+    validate_counts,
+)
+
+count_vectors = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=1, max_size=12
+).filter(lambda c: sum(c) > 0)
+
+
+class TestValidateCounts:
+    def test_accepts_plain_list(self):
+        out = validate_counts([1, 2, 3])
+        assert out.dtype == np.int64
+        assert out.tolist() == [1, 2, 3]
+
+    def test_accepts_float_integers(self):
+        assert validate_counts([1.0, 2.0]).tolist() == [1, 2]
+
+    def test_rejects_fractional(self):
+        with pytest.raises(StateError, match="integers"):
+            validate_counts([1.5, 2.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(StateError, match="non-negative"):
+            validate_counts([1, -1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(StateError, match="non-empty"):
+            validate_counts([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(StateError, match="1-D"):
+            validate_counts([[1, 2]])
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(StateError, match="positive total"):
+            validate_counts([0, 0])
+
+    def test_checks_total_against_n(self):
+        with pytest.raises(StateError, match="expected n=10"):
+            validate_counts([4, 4], n=10)
+
+    def test_accepts_matching_n(self):
+        assert validate_counts([4, 6], n=10).sum() == 10
+
+
+class TestValidateAgents:
+    def test_basic(self):
+        out = validate_agents(np.asarray([0, 1, 2, 1]))
+        assert out.dtype == np.int64
+
+    def test_rejects_float(self):
+        with pytest.raises(StateError, match="integer"):
+            validate_agents(np.asarray([0.5, 1.0]))
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(StateError, match="non-negative"):
+            validate_agents(np.asarray([0, -1]))
+
+    def test_rejects_labels_at_or_above_k(self):
+        with pytest.raises(StateError, match="< k=2"):
+            validate_agents(np.asarray([0, 2]), k=2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(StateError):
+            validate_agents(np.asarray([], dtype=np.int64))
+
+
+class TestConversions:
+    def test_agents_to_counts(self):
+        counts = agents_to_counts(np.asarray([0, 1, 1, 3]), k=5)
+        assert counts.tolist() == [1, 2, 0, 1, 0]
+
+    def test_counts_to_agents_block_layout(self):
+        agents = counts_to_agents(np.asarray([2, 0, 3]))
+        assert agents.tolist() == [0, 0, 2, 2, 2]
+
+    def test_counts_to_agents_shuffle_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            counts_to_agents(np.asarray([1, 1]), shuffle=True)
+
+    def test_counts_to_agents_shuffle_preserves_histogram(self, rng):
+        counts = np.asarray([3, 5, 2])
+        agents = counts_to_agents(counts, rng=rng, shuffle=True)
+        assert agents_to_counts(agents, 3).tolist() == counts.tolist()
+
+    @given(count_vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, counts):
+        counts = np.asarray(counts, dtype=np.int64)
+        agents = counts_to_agents(counts)
+        assert agents_to_counts(agents, counts.size).tolist() == (
+            counts.tolist()
+        )
+
+
+class TestQuantities:
+    def test_alpha_sums_to_one(self):
+        alpha = alpha_from_counts([1, 2, 3])
+        assert alpha.sum() == pytest.approx(1.0)
+        assert alpha.tolist() == pytest.approx([1 / 6, 2 / 6, 3 / 6])
+
+    def test_gamma_balanced(self):
+        assert gamma_from_counts([5, 5, 5, 5]) == pytest.approx(0.25)
+
+    def test_gamma_consensus(self):
+        assert gamma_from_counts([0, 9, 0]) == pytest.approx(1.0)
+
+    @given(count_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_gamma_within_cauchy_schwarz_bounds(self, counts):
+        gamma = gamma_from_counts(counts)
+        k_alive = sum(1 for c in counts if c > 0)
+        assert 1.0 / k_alive - 1e-12 <= gamma <= 1.0 + 1e-12
+
+    def test_bias_antisymmetric(self):
+        counts = [3, 7, 10]
+        assert bias(counts, 0, 1) == pytest.approx(-bias(counts, 1, 0))
+        assert bias(counts, 1, 0) == pytest.approx(4 / 20)
+
+    def test_support_and_alive(self):
+        counts = np.asarray([0, 3, 0, 1])
+        assert support(counts).tolist() == [1, 3]
+        assert num_alive(counts) == 2
+
+    def test_consensus_detection(self):
+        assert is_consensus([0, 5, 0])
+        assert consensus_opinion([0, 5, 0]) == 1
+        assert not is_consensus([1, 4])
+        assert consensus_opinion([1, 4]) is None

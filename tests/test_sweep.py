@@ -1,0 +1,150 @@
+"""Tests for the parameter-sweep driver."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import SweepPoint, SweepSpec, run_sweep
+from repro.sweep.grid import _point_key, consensus_time_point
+
+
+def _cheap_point(params, rng):
+    """Deterministic-ish fast point function for driver tests."""
+    return float(params["x"] * 10 + rng.integers(0, 3))
+
+
+class TestSweepSpec:
+    def test_points_cartesian(self):
+        spec = SweepSpec(grid={"a": [1, 2], "b": ["x", "y"]})
+        points = spec.points()
+        assert len(points) == 4
+        assert {"a": 1, "b": "x"} in points
+
+    def test_fixed_merged(self):
+        spec = SweepSpec(grid={"a": [1]}, fixed={"c": 9})
+        assert spec.points() == [{"a": 1, "c": 9}]
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(grid={})
+
+    def test_rejects_grid_fixed_overlap(self):
+        with pytest.raises(ConfigurationError, match="both"):
+            SweepSpec(grid={"a": [1]}, fixed={"a": 2})
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(grid={"a": [1]}, num_runs=0)
+
+
+class TestSweepPoint:
+    def test_median_ignores_nan(self):
+        point = SweepPoint({"a": 1}, (1.0, float("nan"), 3.0))
+        assert point.median == 2.0
+        assert point.censored == 1
+
+    def test_all_censored(self):
+        point = SweepPoint({}, (float("nan"),))
+        assert np.isnan(point.median)
+
+
+class TestRunSweep:
+    def test_basic_run(self):
+        spec = SweepSpec(grid={"x": [1, 2, 3]}, num_runs=4, seed=0)
+        results = run_sweep(spec, point_function=_cheap_point)
+        assert len(results) == 3
+        for point in results:
+            assert len(point.values) == 4
+            assert point.median >= point.params["x"] * 10
+
+    def test_reproducible(self):
+        spec = SweepSpec(grid={"x": [1, 2]}, num_runs=3, seed=5)
+        a = run_sweep(spec, point_function=_cheap_point)
+        b = run_sweep(spec, point_function=_cheap_point)
+        assert [p.values for p in a] == [p.values for p in b]
+
+    def test_point_independent_of_grid(self):
+        """Adding grid values never changes existing points."""
+        small = SweepSpec(grid={"x": [1]}, num_runs=3, seed=5)
+        big = SweepSpec(grid={"x": [1, 2, 3]}, num_runs=3, seed=5)
+        a = run_sweep(small, point_function=_cheap_point)
+        b = run_sweep(big, point_function=_cheap_point)
+        assert a[0].values == b[0].values
+
+    def test_cache_roundtrip(self, tmp_path):
+        spec = SweepSpec(grid={"x": [1, 2]}, num_runs=2, seed=1)
+        first = run_sweep(
+            spec, point_function=_cheap_point, cache_dir=tmp_path
+        )
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+        calls = []
+
+        def spy(params, rng):
+            calls.append(params)
+            return 0.0
+
+        second = run_sweep(spec, point_function=spy, cache_dir=tmp_path)
+        assert not calls  # everything came from cache
+        assert [p.values for p in first] == [p.values for p in second]
+
+    def test_cache_resume_partial(self, tmp_path):
+        spec1 = SweepSpec(grid={"x": [1]}, num_runs=2, seed=1)
+        run_sweep(spec1, point_function=_cheap_point, cache_dir=tmp_path)
+        spec2 = SweepSpec(grid={"x": [1, 2]}, num_runs=2, seed=1)
+        calls = []
+
+        def counting(params, rng):
+            calls.append(params["x"])
+            return _cheap_point(params, rng)
+
+        run_sweep(spec2, point_function=counting, cache_dir=tmp_path)
+        # Only the new point was measured (once per seed), never x = 1.
+        assert calls == [2, 2]
+
+    def test_cache_files_valid_json(self, tmp_path):
+        spec = SweepSpec(grid={"x": [7]}, num_runs=1, seed=0)
+        run_sweep(spec, point_function=_cheap_point, cache_dir=tmp_path)
+        (path,) = tmp_path.glob("*.json")
+        payload = json.loads(path.read_text())
+        assert payload["params"] == {"x": 7}
+        assert len(payload["values"]) == 1
+
+    def test_point_key_stable_under_ordering(self):
+        assert _point_key({"a": 1, "b": 2}) == _point_key({"b": 2, "a": 1})
+
+    def test_bad_seed_type(self):
+        spec = SweepSpec(grid={"x": [1]}, seed=np.random.default_rng(0))
+        with pytest.raises(ConfigurationError, match="stable"):
+            run_sweep(spec, point_function=_cheap_point)
+
+
+class TestConsensusTimePoint:
+    def test_measures_real_dynamics(self, rng):
+        value = consensus_time_point(
+            {"dynamics": "3-majority", "n": 512, "k": 4}, rng
+        )
+        assert value > 0
+
+    def test_censoring_returns_nan(self, rng):
+        value = consensus_time_point(
+            {"dynamics": "2-choices", "n": 4096, "k": 512,
+             "max_rounds": 2},
+            rng,
+        )
+        assert np.isnan(value)
+
+    def test_end_to_end_sweep(self, tmp_path):
+        spec = SweepSpec(
+            grid={"k": [2, 8]},
+            fixed={"n": 512, "dynamics": "3-majority"},
+            num_runs=2,
+            seed=3,
+        )
+        results = run_sweep(spec, cache_dir=tmp_path)
+        medians = {p.params["k"]: p.median for p in results}
+        assert medians[8] > 0 and medians[2] > 0

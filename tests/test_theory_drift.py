@@ -1,0 +1,226 @@
+"""Tests for repro.theory.drift — Lemma 4.1 closed forms vs simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ThreeMajority, TwoChoices
+from repro.errors import ConfigurationError
+from repro.theory.drift import (
+    TABLE1_ROWS,
+    exact_gamma_next_three_majority,
+    exact_var_alpha,
+    expected_alpha_next,
+    expected_delta_next,
+    expected_gamma_increase_lower_bound,
+    var_alpha_upper_bound,
+    var_delta_lower_bound,
+    var_delta_upper_bound,
+)
+from repro.theory.quantities import gamma_of_alpha
+
+alphas = st.lists(
+    st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=10
+).map(lambda raw: np.asarray(raw) / sum(raw))
+
+
+class TestExpectedAlphaNext:
+    def test_identity_balanced(self):
+        alpha = np.full(4, 0.25)
+        # Balanced: alpha_i (1 + alpha_i - gamma) = alpha_i exactly.
+        assert expected_alpha_next(alpha) == pytest.approx(alpha)
+
+    @given(alphas)
+    @settings(max_examples=100, deadline=None)
+    def test_preserves_total_mass(self, alpha):
+        assert expected_alpha_next(alpha).sum() == pytest.approx(1.0)
+
+    @given(alphas)
+    @settings(max_examples=100, deadline=None)
+    def test_leader_never_shrinks_in_expectation(self, alpha):
+        """max_i alpha_i >= gamma, so the leader's drift is >= 0."""
+        expected = expected_alpha_next(alpha)
+        leader = int(np.argmax(alpha))
+        assert expected[leader] >= alpha[leader] - 1e-12
+
+    def test_monte_carlo_three_majority(self, rng):
+        n = 50_000
+        counts = np.asarray([n // 2, n // 4, n // 4])
+        alpha = counts / n
+        total = np.zeros(3)
+        reps = 300
+        for _ in range(reps):
+            total += ThreeMajority().population_step(counts, rng)
+        assert total / reps / n == pytest.approx(
+            expected_alpha_next(alpha), abs=2e-3
+        )
+
+    def test_monte_carlo_two_choices(self, rng):
+        n = 50_000
+        counts = np.asarray([30_000, 20_000])
+        alpha = counts / n
+        total = np.zeros(2)
+        reps = 300
+        for _ in range(reps):
+            total += TwoChoices().population_step(counts, rng)
+        assert total / reps / n == pytest.approx(
+            expected_alpha_next(alpha), abs=2e-3
+        )
+
+
+class TestVarianceBounds:
+    def test_unknown_dynamics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            var_alpha_upper_bound(np.asarray([0.5, 0.5]), 0, 10, "voter")
+
+    @given(alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_exact_variance_below_bound_3maj(self, alpha):
+        n = 1000
+        for i in range(alpha.size):
+            exact = exact_var_alpha(alpha, i, "3-majority") / n
+            bound = var_alpha_upper_bound(alpha, i, n, "3-majority")
+            assert exact <= bound + 1e-12
+
+    @given(alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_exact_variance_below_bound_2cho(self, alpha):
+        n = 1000
+        for i in range(alpha.size):
+            exact = exact_var_alpha(alpha, i, "2-choices") / n
+            bound = var_alpha_upper_bound(alpha, i, n, "2-choices")
+            assert exact <= bound + 1e-12
+
+    def test_monte_carlo_variance_three_majority(self, rng):
+        n = 10_000
+        counts = np.asarray([6000, 3000, 1000])
+        alpha = counts / n
+        reps = 4000
+        samples = np.empty((reps, 3))
+        for row in range(reps):
+            samples[row] = (
+                ThreeMajority().population_step(counts, rng) / n
+            )
+        empirical = samples.var(axis=0, ddof=1)
+        exact = np.asarray(
+            [
+                exact_var_alpha(alpha, i, "3-majority") / n
+                for i in range(3)
+            ]
+        )
+        assert empirical == pytest.approx(exact, rel=0.15)
+
+    def test_monte_carlo_variance_two_choices(self, rng):
+        n = 10_000
+        counts = np.asarray([7000, 3000])
+        alpha = counts / n
+        reps = 4000
+        samples = np.empty((reps, 2))
+        for row in range(reps):
+            samples[row] = TwoChoices().population_step(counts, rng) / n
+        empirical = samples.var(axis=0, ddof=1)
+        exact = np.asarray(
+            [exact_var_alpha(alpha, i, "2-choices") / n for i in range(2)]
+        )
+        assert empirical == pytest.approx(exact, rel=0.15)
+
+
+class TestDeltaMoments:
+    @given(alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_mean_identity(self, alpha):
+        expected = expected_alpha_next(alpha)
+        for i in range(alpha.size):
+            for j in range(alpha.size):
+                if i == j:
+                    continue
+                assert expected_delta_next(alpha, i, j) == pytest.approx(
+                    expected[i] - expected[j], abs=1e-12
+                )
+
+    def test_strong_pair_drift_positive(self):
+        """Identity (3): two strong opinions amplify their bias."""
+        alpha = np.asarray([0.4, 0.3, 0.1, 0.1, 0.1])
+        delta = alpha[0] - alpha[1]
+        assert expected_delta_next(alpha, 0, 1) > delta
+
+    @given(alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_var_bounds_ordering(self, alpha):
+        n = 500
+        for dynamics in ("3-majority", "2-choices"):
+            upper = var_delta_upper_bound(alpha, 0, 1, n, dynamics)
+            lower = var_delta_lower_bound(alpha, 0, 1, n, dynamics)
+            assert 0 <= lower <= upper + 1e-15
+
+    def test_var_delta_monte_carlo_within_bounds(self, rng):
+        n = 10_000
+        counts = np.asarray([4000, 3500, 2500])
+        alpha = counts / n
+        reps = 3000
+        deltas = np.empty(reps)
+        for row in range(reps):
+            new = ThreeMajority().population_step(counts, rng)
+            deltas[row] = (new[0] - new[1]) / n
+        var = deltas.var(ddof=1)
+        assert var <= var_delta_upper_bound(alpha, 0, 1, n, "3-majority")
+        # Both opinions are non-weak here, so the lower bound applies.
+        assert var >= var_delta_lower_bound(alpha, 0, 1, n, "3-majority")
+
+
+class TestGammaDrift:
+    @given(alphas)
+    @settings(max_examples=100, deadline=None)
+    def test_floor_non_negative(self, alpha):
+        for dynamics in ("3-majority", "2-choices"):
+            floor = expected_gamma_increase_lower_bound(
+                alpha, 1000, dynamics
+            )
+            assert floor >= -1e-15
+
+    def test_exact_gamma_next_three_majority(self, rng):
+        n = 20_000
+        counts = np.asarray([10_000, 6000, 4000])
+        alpha = counts / n
+        reps = 2000
+        total = 0.0
+        for _ in range(reps):
+            new = ThreeMajority().population_step(counts, rng) / n
+            total += float(np.dot(new, new))
+        empirical = total / reps
+        assert empirical == pytest.approx(
+            exact_gamma_next_three_majority(alpha, n), rel=1e-3
+        )
+
+    def test_exact_exceeds_floor(self):
+        alpha = np.asarray([0.5, 0.3, 0.2])
+        n = 1000
+        gamma = gamma_of_alpha(alpha)
+        exact = exact_gamma_next_three_majority(alpha, n)
+        floor = expected_gamma_increase_lower_bound(alpha, n, "3-majority")
+        assert exact - gamma >= floor - 1e-12
+
+    def test_submartingale_two_choices_monte_carlo(self, rng):
+        n = 20_000
+        counts = np.asarray([8000, 7000, 5000])
+        gamma0 = gamma_of_alpha(counts / n)
+        reps = 2000
+        total = 0.0
+        for _ in range(reps):
+            new = TwoChoices().population_step(counts, rng) / n
+            total += float(np.dot(new, new))
+        assert total / reps >= gamma0  # submartingale, comfortably
+
+
+class TestTable1Rows:
+    def test_six_rows(self):
+        assert len(TABLE1_ROWS) == 6
+
+    def test_rows_well_formed(self):
+        for row in TABLE1_ROWS:
+            assert row.direction in ("<=", ">=")
+            assert row.quantity
+            assert row.condition

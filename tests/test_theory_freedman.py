@@ -1,0 +1,124 @@
+"""Tests for Freedman-type bounds and the additive drift lemma."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.theory.bernstein import BernsteinParams
+from repro.theory.freedman import (
+    additive_drift_hitting,
+    additive_drift_upcrossing,
+    freedman_classic_tail,
+    freedman_tail,
+)
+
+
+class TestFreedmanTail:
+    def test_formula(self):
+        params = BernsteinParams(0.0, 1.0, one_sided=True)
+        # exp(-h^2/2 / (T s)) with T=4, s=1, h=2 -> exp(-0.5).
+        assert freedman_tail(2.0, 4.0, params) == pytest.approx(
+            np.exp(-0.5)
+        )
+
+    def test_monotone_in_h(self):
+        params = BernsteinParams(0.1, 1.0, one_sided=True)
+        assert freedman_tail(2.0, 10.0, params) > freedman_tail(
+            4.0, 10.0, params
+        )
+
+    def test_monotone_in_t(self):
+        params = BernsteinParams(0.1, 1.0, one_sided=True)
+        assert freedman_tail(2.0, 10.0, params) < freedman_tail(
+            2.0, 20.0, params
+        )
+
+    def test_rejects_bad_inputs(self):
+        params = BernsteinParams(0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            freedman_tail(-1.0, 10.0, params)
+        with pytest.raises(ConfigurationError):
+            freedman_tail(1.0, 0.0, params)
+
+    def test_zero_variance_zero_jump(self):
+        params = BernsteinParams(0.0, 0.0)
+        assert freedman_tail(1.0, 10.0, params) == 0.0
+
+    def test_classic_matches_bernstein_form(self):
+        params = BernsteinParams(0.5, 2.0, one_sided=True)
+        assert freedman_classic_tail(1.0, 5.0, 2.0, 0.5) == pytest.approx(
+            freedman_tail(1.0, 5.0, params)
+        )
+
+    def test_bound_valid_on_simulated_martingale(self, rng):
+        """Empirical upcrossing frequency stays below the bound."""
+        T, reps = 50, 3000
+        step_scale = 0.1
+        h = 1.2
+        params = BernsteinParams(step_scale, step_scale**2, one_sided=True)
+        crossings = 0
+        for _ in range(reps):
+            steps = rng.uniform(-step_scale, step_scale, size=T)
+            walk = np.cumsum(steps)
+            if walk.max() >= h:
+                crossings += 1
+        bound = freedman_tail(h, T, params)
+        assert crossings / reps <= bound + 3 * np.sqrt(
+            bound * (1 - bound) / reps
+        ) + 0.01
+
+
+class TestAdditiveDrift:
+    def test_upcrossing_trivial_when_drift_covers(self):
+        params = BernsteinParams(0.1, 0.1)
+        # h - R T = 1 - 2 <= 0 -> trivial bound 1.
+        assert additive_drift_upcrossing(1.0, 10.0, 0.2, params) == 1.0
+
+    def test_upcrossing_formula(self):
+        params = BernsteinParams(0.0, 1.0)
+        # z = 2, denom = 10 -> exp(-0.2).
+        assert additive_drift_upcrossing(
+            2.0, 10.0, 0.0, params
+        ) == pytest.approx(np.exp(-0.2))
+
+    def test_upcrossing_rejects_negative_drift(self):
+        with pytest.raises(ConfigurationError):
+            additive_drift_upcrossing(
+                1.0, 1.0, -0.5, BernsteinParams(0.1, 0.1)
+            )
+
+    def test_hitting_requires_negative_drift(self):
+        with pytest.raises(ConfigurationError):
+            additive_drift_hitting(
+                1.0, 1.0, 0.5, BernsteinParams(0.1, 0.1)
+            )
+
+    def test_hitting_trivial_when_horizon_short(self):
+        params = BernsteinParams(0.1, 0.1)
+        # (-R) T - h = 0.5 - 1 <= 0 -> trivial bound.
+        assert additive_drift_hitting(1.0, 5.0, -0.1, params) == 1.0
+
+    def test_hitting_formula(self):
+        params = BernsteinParams(0.0, 1.0)
+        # z = (-R) T - h = 3 - 1 = 2; denom = 10 -> exp(-0.2).
+        assert additive_drift_hitting(
+            1.0, 10.0, -0.3, params
+        ) == pytest.approx(np.exp(-0.2))
+
+    def test_hitting_bound_on_simulated_process(self, rng):
+        """A -0.1-drift bounded walk drops by h within T w.h.p."""
+        T, reps, h, R = 100, 2000, 2.0, -0.1
+        scale = 0.3
+        params = BernsteinParams(scale, scale**2, one_sided=True)
+        failures = 0
+        for _ in range(reps):
+            steps = rng.uniform(-scale, scale, size=T) + R
+            walk = np.cumsum(steps)
+            if walk.min() > -h:
+                failures += 1
+        bound = additive_drift_hitting(h, T, R, params)
+        assert failures / reps <= bound + 3 * np.sqrt(
+            max(bound * (1 - bound), 1e-6) / reps
+        ) + 0.01

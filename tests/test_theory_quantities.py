@@ -1,0 +1,102 @@
+"""Tests for repro.theory.quantities (Definitions 3.2 and 5.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory.quantities import (
+    delta,
+    eta,
+    gamma_lower_bound,
+    gamma_of_alpha,
+    p_norm,
+)
+
+alphas = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=10
+).filter(lambda raw: sum(raw) > 0).map(
+    lambda raw: np.asarray(raw) / sum(raw)
+)
+
+
+class TestGamma:
+    def test_balanced(self):
+        assert gamma_of_alpha(np.full(8, 1 / 8)) == pytest.approx(1 / 8)
+
+    def test_consensus(self):
+        assert gamma_of_alpha(np.asarray([1.0, 0.0])) == 1.0
+
+    @given(alphas)
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, alpha):
+        gamma = gamma_of_alpha(alpha)
+        assert gamma <= 1.0 + 1e-12
+        assert gamma >= gamma_lower_bound(alpha.size) - 1e-12
+
+    @given(alphas)
+    @settings(max_examples=100, deadline=None)
+    def test_leader_dominates_gamma(self, alpha):
+        """max_i alpha_i >= gamma — why the leader is never weak."""
+        assert float(alpha.max()) >= gamma_of_alpha(alpha) - 1e-12
+
+    def test_lower_bound_validation(self):
+        with pytest.raises(ValueError):
+            gamma_lower_bound(0)
+
+
+class TestDeltaEta:
+    def test_delta(self):
+        alpha = np.asarray([0.5, 0.2, 0.3])
+        assert delta(alpha, 0, 1) == pytest.approx(0.3)
+        assert delta(alpha, 1, 0) == pytest.approx(-0.3)
+
+    def test_eta_scaling(self):
+        alpha = np.asarray([0.49, 0.36, 0.15])
+        # eta = (0.49 - 0.36) / sqrt(0.49) = 0.13 / 0.7
+        assert eta(alpha, 0, 1) == pytest.approx(0.13 / 0.7)
+
+    def test_eta_sign(self):
+        alpha = np.asarray([0.2, 0.8])
+        assert eta(alpha, 0, 1) < 0
+
+    def test_eta_extinct_pair(self):
+        alpha = np.asarray([0.0, 0.0, 1.0])
+        assert eta(alpha, 0, 1) == 0.0
+
+    @given(alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_eta_at_most_sqrt_alpha(self, alpha):
+        """|eta| <= sqrt(max alpha) since |delta| <= max alpha."""
+        value = abs(eta(alpha, 0, 1))
+        top = max(alpha[0], alpha[1])
+        assert value <= np.sqrt(top) + 1e-12
+
+
+class TestPNorm:
+    def test_l1(self):
+        assert p_norm(np.asarray([0.25, 0.75]), 1) == pytest.approx(1.0)
+
+    def test_l2_consistent_with_gamma(self):
+        alpha = np.asarray([0.5, 0.3, 0.2])
+        assert p_norm(alpha, 2) ** 2 == pytest.approx(
+            gamma_of_alpha(alpha)
+        )
+
+    def test_linf(self):
+        assert p_norm(np.asarray([0.1, 0.9]), np.inf) == 0.9
+
+    @given(alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_norm_monotone_in_p(self, alpha):
+        """||x||_3 <= ||x||_2 for probability vectors."""
+        assert p_norm(alpha, 3) <= p_norm(alpha, 2) + 1e-12
+
+    @given(alphas)
+    @settings(max_examples=50, deadline=None)
+    def test_cauchy_schwarz_cube(self, alpha):
+        """gamma^2 <= ||alpha||_3^3 — the inequality used in eq. (7)."""
+        gamma = gamma_of_alpha(alpha)
+        assert gamma**2 <= p_norm(alpha, 3) ** 3 + 1e-12
