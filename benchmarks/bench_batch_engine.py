@@ -1,0 +1,116 @@
+"""Benchmark the vectorised batch-replica engine against sequential runs.
+
+The ``BatchPopulationEngine`` exists for one reason: a
+``replicate``-style workload (R independent runs of the same spec)
+should cost one vectorised hot loop, not R sequential Python loops.
+This benchmark tracks that claim across R ∈ {16, 64, 256} for both
+paper dynamics and asserts the headline requirement — at R = 64 the
+batch engine beats sequential replication by at least 3x wall-clock.
+
+Run with:  pytest benchmarks/bench_batch_engine.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.configs import balanced
+from repro.core import ThreeMajority, TwoChoices
+from repro.engine import (
+    BatchPopulationEngine,
+    PopulationEngine,
+    replicate,
+    run_until_consensus,
+)
+
+N = 65_536
+K = 16
+REPLICA_COUNTS = (16, 64, 256)
+MAX_ROUNDS = 1_000_000
+
+
+def _sequential_seconds(dynamics, counts, replicas: int) -> tuple[float, float]:
+    def one(rng):
+        engine = PopulationEngine(dynamics, counts, seed=rng)
+        return run_until_consensus(engine, max_rounds=MAX_ROUNDS)
+
+    started = time.perf_counter()
+    results = replicate(one, replicas, seed=0)
+    elapsed = time.perf_counter() - started
+    return elapsed, float(np.median([r.rounds for r in results]))
+
+
+def _batch_seconds(dynamics, counts, replicas: int) -> tuple[float, float]:
+    started = time.perf_counter()
+    engine = BatchPopulationEngine(
+        dynamics, counts, num_replicas=replicas, seed=0
+    )
+    results = engine.run_until_consensus(MAX_ROUNDS)
+    elapsed = time.perf_counter() - started
+    return elapsed, float(np.median([r.rounds for r in results]))
+
+
+def _study() -> dict:
+    counts = balanced(N, K)
+    rows = []
+    speedups: dict[tuple[str, int], float] = {}
+    for dynamics in (ThreeMajority(), TwoChoices()):
+        for replicas in REPLICA_COUNTS:
+            seq_s, seq_median = _sequential_seconds(
+                dynamics, counts, replicas
+            )
+            batch_s, batch_median = _batch_seconds(
+                dynamics, counts, replicas
+            )
+            speedup = seq_s / batch_s
+            speedups[(dynamics.name, replicas)] = speedup
+            rows.append(
+                [
+                    dynamics.name,
+                    replicas,
+                    round(seq_s * 1000, 1),
+                    round(batch_s * 1000, 1),
+                    round(speedup, 1),
+                    seq_median,
+                    batch_median,
+                ]
+            )
+    return {"rows": rows, "speedups": speedups}
+
+
+def test_batch_replication_speedup(benchmark):
+    study = benchmark.pedantic(_study, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            [
+                "dynamics",
+                "R",
+                "sequential ms",
+                "batch ms",
+                "speedup",
+                "seq median T",
+                "batch median T",
+            ],
+            study["rows"],
+            title=(
+                f"Batched vs sequential replication "
+                f"(n={N:,}, k={K}, balanced start)"
+            ),
+        )
+    )
+    speedups = study["speedups"]
+    # Headline acceptance: >= 3x at R = 64 for the closed-form dynamics.
+    assert speedups[("3-majority", 64)] >= 3.0, speedups
+    # The advantage must grow with R, not flatten into constant overhead.
+    assert (
+        speedups[("3-majority", 256)] > speedups[("3-majority", 16)]
+    ), speedups
+    # Both dynamics should see a real win at the largest batch.
+    assert speedups[("2-choices", 256)] >= 2.0, speedups
+    # Sanity: the two samplers measure the same chain (medians close).
+    for row in study["rows"]:
+        assert abs(row[5] - row[6]) <= 0.35 * max(row[5], row[6]), row

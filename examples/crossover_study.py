@@ -21,14 +21,12 @@ import math
 
 import numpy as np
 
-from repro import PopulationEngine, ThreeMajority, TwoChoices
+from repro import Simulation, ThreeMajority, TwoChoices
 from repro.analysis import (
     fit_power_law,
     fit_saturating_power_law,
     format_table,
 )
-from repro.configs import balanced
-from repro.engine import replicate, run_until_consensus
 
 N = 65_536  # sqrt(n) = 256
 KS = (4, 16, 64, 256, 1024, 4096)
@@ -37,12 +35,20 @@ SEED = 11
 
 
 def median_time(dynamics, k: int, seed) -> float:
-    def one(rng):
-        engine = PopulationEngine(dynamics, balanced(N, k), seed=rng)
-        return run_until_consensus(engine, max_rounds=500_000)
-
-    results = replicate(one, RUNS, seed=seed)
-    return float(np.median([r.rounds for r in results if r.converged]))
+    # The batch engine advances all RUNS replicas in one vectorised
+    # loop — this sweep is exactly the workload it exists for.
+    results = (
+        Simulation.of(dynamics)
+        .n(N)
+        .k(k)
+        .balanced()
+        .replicas(RUNS)
+        .batch()
+        .max_rounds(500_000)
+        .seed(seed)
+        .run()
+    )
+    return results.median
 
 
 def main() -> None:

@@ -1,10 +1,10 @@
 """Quickstart: run 3-Majority and 2-Choices to consensus and watch gamma_t.
 
-Demonstrates the core public API:
+Demonstrates the unified simulation API:
 
-* build an initial configuration (``repro.configs``),
-* construct the exact population engine (``PopulationEngine``),
-* run to consensus with a trajectory recorder,
+* describe a run declaratively with the fluent ``Simulation`` builder,
+* attach a per-replica trajectory recorder,
+* read the winner/consensus time off the returned ``ResultSet``,
 * compare the measured time against the paper's bound shapes
   (``repro.theory.bounds``).
 
@@ -13,15 +13,8 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import (
-    PopulationEngine,
-    ThreeMajority,
-    TwoChoices,
-    TrajectoryRecorder,
-    run_until_consensus,
-)
+from repro import Simulation, ThreeMajority, TwoChoices, TrajectoryRecorder
 from repro.analysis import format_table
-from repro.configs import balanced
 from repro.theory.bounds import upper_bound
 
 N = 100_000
@@ -30,11 +23,22 @@ SEED = 7
 
 
 def run_one(dynamics) -> list:
-    recorder = TrajectoryRecorder(record_gamma=True, record_alive=True)
-    engine = PopulationEngine(dynamics, balanced(N, K), seed=SEED)
-    result = run_until_consensus(
-        engine, max_rounds=200_000, observers=(recorder,)
+    results = (
+        Simulation.of(dynamics)
+        .n(N)
+        .k(K)
+        .balanced()
+        .max_rounds(200_000)
+        .observe_with(
+            lambda: (
+                TrajectoryRecorder(record_gamma=True, record_alive=True),
+            )
+        )
+        .seed(SEED)
+        .run()
     )
+    result = results[0]
+    recorder = result.metrics["observers"][0]
     arrays = recorder.as_arrays()
     halfway = len(arrays["gamma"]) // 2
     return [

@@ -6,6 +6,17 @@ for the synchronous consensus dynamics analysed by Shimizu & Shiraga
 
 Quickstart
 ----------
+>>> from repro import Simulation
+>>> results = (
+...     Simulation.of("3-majority")
+...     .n(10_000).k(50).replicas(8).batch().seed(1)
+...     .run()
+... )
+>>> results.num_converged
+8
+
+The engine-level API is still available for fine-grained control:
+
 >>> from repro import ThreeMajority, PopulationEngine, run_until_consensus
 >>> from repro.configs import balanced
 >>> engine = PopulationEngine(ThreeMajority(), balanced(10_000, 50), seed=1)
@@ -18,7 +29,11 @@ Package map
 ``repro.core``        the dynamics (3-Majority, 2-Choices, h-Majority,
                       undecided, voter, median);
 ``repro.engine``      exact population engine, agent engine, async
-                      engine, run control;
+                      engine, vectorised batch-replica engine, run
+                      control;
+``repro.simulation``  the unified front door: declarative
+                      ``SimulationSpec``, fluent ``Simulation`` builder
+                      and ``ResultSet`` aggregates;
 ``repro.graphs``      complete graph and the Section 2.5 graph families;
 ``repro.configs``     initial configurations keyed to the theorems;
 ``repro.theory``      the paper's formulas: drift (Lemma 4.1), Bernstein
@@ -51,6 +66,7 @@ from repro.core import (
 from repro.engine import (
     AgentEngine,
     AsyncPopulationEngine,
+    BatchPopulationEngine,
     PopulationEngine,
     RunResult,
     TrajectoryRecorder,
@@ -70,6 +86,7 @@ from repro.protocols import (
     PairwiseEngine,
     UndecidedPairwise,
 )
+from repro.simulation import ResultSet, Simulation, SimulationSpec
 from repro.sweep import SweepSpec, run_sweep
 
 __version__ = "1.0.0"
@@ -79,6 +96,7 @@ __all__ = [
     "AgentEngine",
     "ApproximateMajority",
     "AsyncPopulationEngine",
+    "BatchPopulationEngine",
     "CompleteGraph",
     "ConfigurationError",
     "ConsensusNotReached",
@@ -90,8 +108,11 @@ __all__ = [
     "PopulationEngine",
     "RandomCorruption",
     "ReproError",
+    "ResultSet",
     "ReviveWeakest",
     "RunResult",
+    "Simulation",
+    "SimulationSpec",
     "StateError",
     "SupportRunnerUp",
     "SweepSpec",

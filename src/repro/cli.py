@@ -13,9 +13,14 @@ Subcommands
 ``report [--preset P] [--seed N] [--output PATH]``
     Run every experiment and write the paper-vs-measured markdown
     report (the file shipped as EXPERIMENTS.md).
-``simulate --dynamics D --n N --k K [...]``
-    One ad-hoc run to consensus with a per-round trajectory summary —
-    the quickest way to poke at a configuration.
+``simulate --dynamics D --n N --k K [--engine E] [--replicas R] [...]``
+    Ad-hoc runs to consensus through the unified simulation API.  A
+    single population run prints a per-round trajectory summary; with
+    ``--replicas`` (or ``--engine batch``) it prints the aggregate
+    consensus-time quantiles, censoring and winner histogram instead.
+``sweep --n N [N...] --k K [K...] [--dynamics D [D...]] [...]``
+    Cached consensus-time sweep over the (dynamics, n, k) grid, with
+    optional process-parallel workers.
 ``dynamics``
     List the registered dynamics specs.
 """
@@ -28,7 +33,9 @@ import time
 
 from repro.analysis.comparison import render_comparisons_markdown
 from repro.core.registry import available_dynamics
+from repro.errors import ConfigurationError
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.simulation import ENGINE_KINDS, INITIAL_FAMILIES
 
 __all__ = ["main"]
 
@@ -64,7 +71,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sim_parser = sub.add_parser(
-        "simulate", help="one ad-hoc run to consensus"
+        "simulate", help="ad-hoc runs to consensus"
     )
     sim_parser.add_argument(
         "--dynamics", default="3-majority", help="dynamics spec"
@@ -74,12 +81,59 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "--config",
         default="balanced",
-        choices=["balanced", "zipf"],
+        choices=sorted(INITIAL_FAMILIES),
         help="initial configuration family",
+    )
+    sim_parser.add_argument(
+        "--engine",
+        default="population",
+        choices=list(ENGINE_KINDS),
+        help="simulation engine (default population)",
+    )
+    sim_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="independent runs; > 1 prints aggregate statistics",
     )
     sim_parser.add_argument("--seed", type=int, default=0)
     sim_parser.add_argument(
         "--max-rounds", type=int, default=1_000_000
+    )
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="cached consensus-time sweep over a parameter grid"
+    )
+    sweep_parser.add_argument(
+        "--dynamics",
+        nargs="+",
+        default=["3-majority"],
+        help="one or more dynamics specs (grid axis when several)",
+    )
+    sweep_parser.add_argument(
+        "--n", type=int, nargs="+", required=True, help="grid values for n"
+    )
+    sweep_parser.add_argument(
+        "--k", type=int, nargs="+", required=True, help="grid values for k"
+    )
+    sweep_parser.add_argument(
+        "--runs", type=int, default=3, help="replicas per point (default 3)"
+    )
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--max-rounds", type=int, default=None, help="round budget per run"
+    )
+    sweep_parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="cache directory (measured points are reused on resume)",
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-parallel point evaluation (default sequential)",
     )
     return parser
 
@@ -154,6 +208,8 @@ def main(argv: list[str] | None = None) -> int:
         return _report(args)
     if args.command == "simulate":
         return _simulate(args)
+    if args.command == "sweep":
+        return _sweep(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -190,51 +246,113 @@ def _report(args) -> int:
 
 
 def _simulate(args) -> int:
-    from repro.configs import balanced, zipf
-    from repro.core.registry import make_dynamics
-    from repro.engine import (
-        PopulationEngine,
-        TrajectoryRecorder,
-        run_until_consensus,
-    )
+    from repro.engine import TrajectoryRecorder
+    from repro.simulation import Simulation
 
-    dynamics = make_dynamics(args.dynamics)
-    make_config = {"balanced": balanced, "zipf": zipf}[args.config]
-    counts = make_config(args.n, args.k)
-    recorder = TrajectoryRecorder(record_max_alpha=True)
-    engine = PopulationEngine(dynamics, counts, seed=args.seed)
+    trajectory = args.engine == "population" and args.replicas == 1
+    builder = (
+        Simulation.of(args.dynamics)
+        .n(args.n)
+        .k(args.k)
+        .initial(args.config)
+        .engine(args.engine)
+        .replicas(args.replicas)
+        .seed(args.seed)
+        .max_rounds(args.max_rounds)
+    )
+    if trajectory:
+        builder.observe_with(
+            lambda: (TrajectoryRecorder(record_max_alpha=True),)
+        )
+    try:
+        spec = builder.build()
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 2
     started = time.perf_counter()
-    result = run_until_consensus(
-        engine, max_rounds=args.max_rounds, observers=(recorder,)
-    )
+    results = spec.run()
     wall = time.perf_counter() - started
-    arrays = recorder.as_arrays()
-    checkpoints = sorted(
-        {0, len(arrays["round"]) - 1}
-        | {len(arrays["round"]) * p // 4 for p in (1, 2, 3)}
-    )
-    print(
-        f"{dynamics.name} on n={args.n:,}, k={args.k} "
-        f"({args.config} start), seed={args.seed}"
-    )
-    for pos in checkpoints:
-        print(
-            f"  round {arrays['round'][pos]:>8d}: "
-            f"gamma={arrays['gamma'][pos]:.5f} "
-            f"alive={arrays['alive'][pos]:>6d} "
-            f"leader={arrays['max_alpha'][pos]:.3f}"
+
+    if trajectory:
+        result = results[0]
+        recorder = result.metrics["observers"][0]
+        arrays = recorder.as_arrays()
+        checkpoints = sorted(
+            {0, len(arrays["round"]) - 1}
+            | {len(arrays["round"]) * p // 4 for p in (1, 2, 3)}
         )
-    if result.converged:
+        print(spec.describe())
+        for pos in checkpoints:
+            print(
+                f"  round {arrays['round'][pos]:>8d}: "
+                f"gamma={arrays['gamma'][pos]:.5f} "
+                f"alive={arrays['alive'][pos]:>6d} "
+                f"leader={arrays['max_alpha'][pos]:.3f}"
+            )
+        if result.converged:
+            print(
+                f"consensus on opinion {result.winner} after "
+                f"{result.rounds} rounds ({wall:.2f}s wall-clock)"
+            )
+            return 0
         print(
-            f"consensus on opinion {result.winner} after "
-            f"{result.rounds} rounds ({wall:.2f}s wall-clock)"
+            f"no consensus within {args.max_rounds} rounds "
+            f"({wall:.2f}s wall-clock)"
         )
-        return 0
+        return 1
+
+    print(results.summary())
+    print(f"elapsed: {wall:.2f}s wall-clock")
+    return 0 if results.num_censored == 0 else 1
+
+
+def _sweep(args) -> int:
+    from repro.analysis.tables import format_table
+    from repro.sweep import SweepSpec, run_sweep
+
+    grid: dict[str, list] = {"n": args.n, "k": args.k}
+    fixed: dict = {}
+    if len(args.dynamics) > 1:
+        grid["dynamics"] = args.dynamics
+    else:
+        fixed["dynamics"] = args.dynamics[0]
+    if args.max_rounds is not None:
+        fixed["max_rounds"] = args.max_rounds
+    try:
+        spec = SweepSpec(
+            grid=grid, num_runs=args.runs, seed=args.seed, fixed=fixed
+        )
+        started = time.perf_counter()
+        points = run_sweep(
+            spec, cache_dir=args.cache, workers=args.workers
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 2
+    wall = time.perf_counter() - started
+    rows = [
+        [
+            point.params["dynamics"],
+            point.params["n"],
+            point.params["k"],
+            point.median,
+            point.censored,
+            len(point.values),
+        ]
+        for point in points
+    ]
     print(
-        f"no consensus within {args.max_rounds} rounds "
-        f"({wall:.2f}s wall-clock)"
+        format_table(
+            ["dynamics", "n", "k", "median T", "censored", "runs"],
+            rows,
+            title=(
+                f"Consensus-time sweep ({len(points)} points, "
+                f"{args.runs} runs each, seed={args.seed})"
+            ),
+        )
     )
-    return 1
+    print(f"elapsed: {wall:.2f}s wall-clock")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,7 +7,11 @@
 * :class:`Voter`, :class:`MedianRule` — baselines from the related work.
 """
 
-from repro.core.base import Dynamics
+from repro.core.base import (
+    Dynamics,
+    batch_multinomial_counts,
+    multinomial_counts,
+)
 from repro.core.h_majority import HMajority
 from repro.core.median import MedianRule
 from repro.core.registry import available_dynamics, make_dynamics
@@ -25,7 +29,9 @@ __all__ = [
     "UndecidedStateDynamics",
     "Voter",
     "available_dynamics",
+    "batch_multinomial_counts",
     "make_dynamics",
+    "multinomial_counts",
     "three_majority_law",
     "two_choices_law",
     "with_undecided_slot",

@@ -39,26 +39,67 @@ from repro.state import validate_counts
 from repro.errors import StateError
 from repro.graphs.base import Graph
 
-__all__ = ["Dynamics", "multinomial_counts", "sample_opinions_from_counts"]
+__all__ = [
+    "Dynamics",
+    "batch_multinomial_counts",
+    "multinomial_counts",
+    "sample_opinions_from_counts",
+]
 
 
 def multinomial_counts(
-    n: int, probabilities: np.ndarray, rng: np.random.Generator
+    n: int,
+    probabilities: np.ndarray,
+    rng: np.random.Generator,
+    dynamics: str = "",
 ) -> np.ndarray:
     """Draw ``Multinomial(n, probabilities)`` with defensive normalisation.
 
     Floating-point round-off can leave ``probabilities`` summing to
     ``1 ± 1e-16``; numpy's ``multinomial`` rejects sums above 1, so we
     renormalise.  A sum that is materially different from 1 indicates a
-    bug in the caller's transition law and raises.
+    bug in the caller's transition law and raises; pass ``dynamics`` (the
+    caller's name) so the error pinpoints which transition law drifted.
     """
     p = np.asarray(probabilities, dtype=np.float64)
     total = p.sum()
     if not 0.999999 < total < 1.000001:
         raise StateError(
-            f"transition probabilities sum to {total!r}, expected 1"
+            f"transition probabilities sum to {total!r}, expected 1 "
+            f"(probability vector shape {p.shape}"
+            + (f", dynamics {dynamics!r})" if dynamics else ")")
         )
     return rng.multinomial(n, p / total).astype(np.int64)
+
+
+def batch_multinomial_counts(
+    n: np.ndarray,
+    probabilities: np.ndarray,
+    rng: np.random.Generator,
+    dynamics: str = "",
+) -> np.ndarray:
+    """Row-wise ``Multinomial(n[r], probabilities[r])`` for R replicas.
+
+    The batched counterpart of :func:`multinomial_counts`: ``n`` has shape
+    ``(R,)`` and ``probabilities`` shape ``(R, k)``; one vectorised call
+    samples all R rows (numpy broadcasts ``n`` against the leading axes of
+    the probability matrix).  Rows are renormalised defensively; a row
+    materially off 1 raises a :class:`~repro.errors.StateError` naming the
+    offending row, the matrix shape and the dynamics.
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    totals = p.sum(axis=-1)
+    bad = ~((totals > 0.999999) & (totals < 1.000001))
+    if bad.any():
+        row = int(np.flatnonzero(bad)[0])
+        raise StateError(
+            f"transition probabilities in replica row {row} sum to "
+            f"{totals[row]!r}, expected 1 (probability matrix shape "
+            f"{p.shape}" + (f", dynamics {dynamics!r})" if dynamics else ")")
+        )
+    return rng.multinomial(
+        np.asarray(n), p / totals[..., None]
+    ).astype(np.int64)
 
 
 def sample_opinions_from_counts(
@@ -99,6 +140,23 @@ class Dynamics(abc.ABC):
         ``counts`` is a validated int64 vector; implementations must
         return a fresh int64 vector of the same length and total mass.
         """
+
+    def population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Advance R independent replicas one round each.
+
+        ``counts`` is an ``(R, k)`` int64 matrix, one replica per row;
+        the result has the same shape with every row's mass conserved.
+        The base implementation loops :meth:`population_step` over rows
+        (correct for any dynamics); 3-Majority, 2-Choices and Voter
+        override it with single-call vectorised samplers, which is what
+        makes :class:`~repro.engine.batch.BatchPopulationEngine` fast.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        return np.stack(
+            [self.population_step(row, rng) for row in counts]
+        )
 
     # ------------------------------------------------------------------
     # Agent-level chain (any graph)

@@ -25,7 +25,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Dynamics, multinomial_counts
+from repro.core.base import (
+    Dynamics,
+    batch_multinomial_counts,
+    multinomial_counts,
+)
 from repro.graphs.base import Graph
 
 __all__ = ["ThreeMajority", "three_majority_law"]
@@ -63,8 +67,24 @@ class ThreeMajority(Dynamics):
         gamma = float(np.dot(alpha, alpha))
         law = alpha * (1.0 + alpha - gamma)
         new_counts = np.zeros_like(counts)
-        new_counts[alive] = multinomial_counts(n, law, rng)
+        new_counts[alive] = multinomial_counts(n, law, rng, self.name)
         return new_counts
+
+    def population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """All R replicas in one multinomial call.
+
+        Dead opinions keep probability 0, so the full-width law is exact
+        without per-replica support tracking; rows already at consensus
+        are fixed points of the law (the winner has probability 1).
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        totals = counts.sum(axis=1)
+        alpha = counts / totals[:, None]
+        gamma = np.einsum("rk,rk->r", alpha, alpha)
+        law = alpha * (1.0 + alpha - gamma[:, None])
+        return batch_multinomial_counts(totals, law, rng, self.name)
 
     def agent_step(
         self,

@@ -32,7 +32,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Dynamics, multinomial_counts
+from repro.core.base import (
+    Dynamics,
+    batch_multinomial_counts,
+    multinomial_counts,
+)
 from repro.graphs.base import Graph
 
 __all__ = ["TwoChoices", "two_choices_law"]
@@ -96,10 +100,38 @@ class TwoChoices(Dynamics):
             group_size = int(counts[alive[pos]])
             law = adopt.copy()
             law[pos] = 1.0 - gamma + adopt[pos]
-            new_alive += multinomial_counts(group_size, law, rng)
+            new_alive += multinomial_counts(group_size, law, rng, self.name)
         new_counts = np.zeros_like(counts)
         new_counts[alive] = new_alive
         return new_counts
+
+    def population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """All R replicas via the switcher decomposition, O(R k).
+
+        Eq. (6) is equivalent to a two-stage draw: a vertex *switches*
+        with probability ``gamma`` and, given a switch, lands on opinion
+        ``j`` with probability ``alpha_j^2 / gamma`` (landing on its own
+        opinion counts as staying).  Check: for ``j != m`` this gives
+        ``gamma * alpha_j^2 / gamma = alpha_j^2``, and for ``j = m`` it
+        gives ``(1 - gamma) + alpha_m^2``, both matching eq. (6).
+        Because the landing law is the same for every source group, the
+        per-group multinomials pool into a single draw: switchers per
+        group are binomial and their destinations one multinomial —
+        two vectorised numpy calls for all R replicas, versus the O(a^2)
+        per-group loop of the sequential strategy.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        totals = counts.sum(axis=1)
+        alpha = counts / totals[:, None]
+        gamma = np.einsum("rk,rk->r", alpha, alpha)
+        switchers = rng.binomial(counts, gamma[:, None])
+        landing = alpha * alpha / gamma[:, None]
+        landed = batch_multinomial_counts(
+            switchers.sum(axis=1), landing, rng, self.name
+        )
+        return counts - switchers + landed
 
     def _population_step_pairs(
         self,

@@ -87,7 +87,9 @@ class UndecidedStateDynamics(Dynamics):
         # Undecided group: adopt a uniformly random vertex's state.
         undecided_count = int(counts[k])
         if undecided_count:
-            adopted = multinomial_counts(undecided_count, alpha, rng)
+            adopted = multinomial_counts(
+                undecided_count, alpha, rng, self.name
+            )
             new_counts += adopted
         return new_counts
 

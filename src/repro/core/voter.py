@@ -12,7 +12,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Dynamics, multinomial_counts
+from repro.core.base import (
+    Dynamics,
+    batch_multinomial_counts,
+    multinomial_counts,
+)
 from repro.graphs.base import Graph
 
 __all__ = ["Voter"]
@@ -33,8 +37,17 @@ class Voter(Dynamics):
         n = int(counts.sum())
         alpha = counts[alive] / n
         new_counts = np.zeros_like(counts)
-        new_counts[alive] = multinomial_counts(n, alpha, rng)
+        new_counts[alive] = multinomial_counts(n, alpha, rng, self.name)
         return new_counts
+
+    def population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """All R replicas in one multinomial call (law = alpha itself)."""
+        counts = np.asarray(counts, dtype=np.int64)
+        totals = counts.sum(axis=1)
+        alpha = counts / totals[:, None]
+        return batch_multinomial_counts(totals, alpha, rng, self.name)
 
     def agent_step(
         self,

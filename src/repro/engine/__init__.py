@@ -5,11 +5,14 @@
 * :class:`AgentEngine` — per-vertex chain on arbitrary graphs;
 * :class:`AsyncPopulationEngine` — one-vertex-per-tick chain
   ([CMRSS25] model);
+* :class:`BatchPopulationEngine` — R replicas as one vectorised
+  ``(R, k)`` count matrix;
 * :func:`run_until_consensus` / :func:`replicate` — run control.
 """
 
 from repro.engine.agent import AgentEngine
 from repro.engine.asynchronous import AsyncPopulationEngine
+from repro.engine.batch import BatchPopulationEngine
 from repro.engine.callbacks import (
     FunctionObserver,
     Observer,
@@ -40,6 +43,7 @@ from repro.state import (
 __all__ = [
     "AgentEngine",
     "AsyncPopulationEngine",
+    "BatchPopulationEngine",
     "FunctionObserver",
     "Observer",
     "PopulationEngine",

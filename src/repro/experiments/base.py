@@ -26,8 +26,9 @@ from repro.analysis.comparison import ComparisonRecord
 from repro.analysis.tables import format_table, write_csv
 from repro.core.base import Dynamics
 from repro.engine.population import PopulationEngine
-from repro.engine.runner import RunResult, replicate, run_until_consensus
+from repro.engine.runner import RunResult, run_until_consensus
 from repro.seeding import RandomState
+from repro.simulation import ResultSet, SimulationSpec, execute
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -94,7 +95,13 @@ def run_population(
     max_rounds: int,
     observers=(),
 ) -> RunResult:
-    """One population run to consensus (or budget) with a given stream."""
+    """One population run to consensus (or budget) with a given stream.
+
+    Legacy shim: kept for callers that thread a live generator through a
+    single run.  Replicated measurements should build a
+    :class:`~repro.simulation.spec.SimulationSpec` (or use
+    :func:`measure_consensus_times`) instead.
+    """
     engine = PopulationEngine(dynamics, counts, seed=rng)
     return run_until_consensus(
         engine, max_rounds=max_rounds, observers=observers
@@ -107,11 +114,24 @@ def measure_consensus_times(
     num_runs: int,
     max_rounds: int,
     seed: RandomState = None,
-) -> list[RunResult]:
-    """Replicate a population run; shared by most experiments."""
-    frozen = np.asarray(counts, dtype=np.int64).copy()
+    engine: str = "population",
+) -> ResultSet:
+    """Replicate a population run; shared by most experiments.
 
-    def factory(rng: np.random.Generator) -> RunResult:
-        return run_population(dynamics, frozen, rng, max_rounds)
-
-    return replicate(factory, num_runs=num_runs, seed=seed)
+    Thin shim over the unified simulation API: builds a
+    :class:`~repro.simulation.spec.SimulationSpec` and executes it.  The
+    default ``engine="population"`` reproduces the historical per-replica
+    seed streams bit-for-bit; pass ``engine="batch"`` to advance all
+    replicas in one vectorised loop (equal in distribution, not bitwise).
+    The returned :class:`~repro.simulation.results.ResultSet` behaves as
+    the ``list[RunResult]`` this helper used to return.
+    """
+    spec = SimulationSpec(
+        dynamics=dynamics,
+        counts=np.asarray(counts, dtype=np.int64),
+        engine=engine,
+        replicas=num_runs,
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    return execute(spec)

@@ -1,0 +1,30 @@
+"""Unified simulation API: declarative specs, fluent builder, aggregates.
+
+* :class:`SimulationSpec` — frozen, validated description of a
+  replicated simulation (dynamics, initial config, engine, stopping
+  rule, replicas, seed);
+* :class:`Simulation` — fluent builder over the spec;
+* :func:`execute` — run a spec on the right engine;
+* :class:`ResultSet` — per-replica results plus vectorised aggregate
+  accessors (quantiles, censoring, winner histogram, CSV export).
+"""
+
+from repro.simulation.builder import Simulation
+from repro.simulation.results import ResultSet
+from repro.simulation.run import execute
+from repro.simulation.spec import (
+    ENGINE_KINDS,
+    INITIAL_FAMILIES,
+    SimulationSpec,
+    default_round_budget,
+)
+
+__all__ = [
+    "ENGINE_KINDS",
+    "INITIAL_FAMILIES",
+    "ResultSet",
+    "Simulation",
+    "SimulationSpec",
+    "default_round_budget",
+    "execute",
+]

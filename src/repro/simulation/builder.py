@@ -1,0 +1,184 @@
+"""Fluent builder over :class:`~repro.simulation.spec.SimulationSpec`.
+
+The spec is the declarative ground truth; :class:`Simulation` is the
+ergonomic way to assemble one inline:
+
+>>> from repro import Simulation
+>>> results = (
+...     Simulation.of("3-majority")
+...     .n(10_000).k(100)
+...     .zipf(exponent=1.0)
+...     .replicas(64)
+...     .batch()
+...     .seed(7)
+...     .run()
+... )
+>>> results.num_converged
+64
+
+Every method mutates the builder and returns it (standard fluent style);
+:meth:`build` freezes the accumulated settings into a validated spec and
+:meth:`run` executes it, returning a
+:class:`~repro.simulation.results.ResultSet`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import Dynamics
+from repro.graphs.base import Graph
+from repro.seeding import RandomState
+from repro.simulation.results import ResultSet
+from repro.simulation.spec import SimulationSpec
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """Accumulates simulation settings; see module docstring for usage."""
+
+    def __init__(self, dynamics: str | Dynamics = "3-majority") -> None:
+        self._settings: dict = {"dynamics": dynamics}
+
+    @classmethod
+    def of(cls, dynamics: str | Dynamics) -> "Simulation":
+        """Start a builder for the given dynamics (spec string or instance)."""
+        return cls(dynamics)
+
+    @classmethod
+    def from_spec(cls, spec: SimulationSpec) -> "Simulation":
+        """Seed a builder with every setting of an existing spec."""
+        builder = cls(spec.dynamics)
+        builder._settings = {
+            "dynamics": spec.dynamics,
+            "n": spec.n,
+            "k": spec.k,
+            "initial": spec.initial,
+            "initial_params": dict(spec.initial_params),
+            "counts": spec.counts,
+            "engine": spec.engine,
+            "graph": spec.graph,
+            "replicas": spec.replicas,
+            "seed": spec.seed,
+            "max_rounds": spec.max_rounds,
+            "target": spec.target,
+            "observer_factory": spec.observer_factory,
+            "on_budget": spec.on_budget,
+        }
+        if spec.initial == "custom":
+            # counts drive n/k; passing them too would be redundant.
+            builder._settings.pop("n"), builder._settings.pop("k")
+        return builder
+
+    # ------------------------------------------------------------------
+    # Size and initial configuration
+    # ------------------------------------------------------------------
+    def n(self, num_vertices: int) -> "Simulation":
+        self._settings["n"] = int(num_vertices)
+        return self
+
+    def k(self, num_opinions: int) -> "Simulation":
+        self._settings["k"] = int(num_opinions)
+        return self
+
+    def initial(self, family: str, **params) -> "Simulation":
+        """Choose any registered initial family with its parameters."""
+        self._settings["initial"] = family
+        self._settings["initial_params"] = params
+        return self
+
+    def balanced(self) -> "Simulation":
+        return self.initial("balanced")
+
+    def zipf(self, exponent: float = 1.0) -> "Simulation":
+        return self.initial("zipf", exponent=exponent)
+
+    def biased(self, margin: float) -> "Simulation":
+        return self.initial("biased", margin=margin)
+
+    def two_block(self, leader_fraction: float) -> "Simulation":
+        return self.initial("two_block", leader_fraction=leader_fraction)
+
+    def counts(self, counts: np.ndarray) -> "Simulation":
+        """Use an explicit initial count vector (n and k are derived)."""
+        self._settings["counts"] = counts
+        self._settings.pop("n", None)
+        self._settings.pop("k", None)
+        return self
+
+    # ------------------------------------------------------------------
+    # Engine selection
+    # ------------------------------------------------------------------
+    def engine(self, kind: str) -> "Simulation":
+        self._settings["engine"] = kind
+        return self
+
+    def population(self) -> "Simulation":
+        return self.engine("population")
+
+    def batch(self) -> "Simulation":
+        return self.engine("batch")
+
+    def asynchronous(self) -> "Simulation":
+        return self.engine("async")
+
+    def on_graph(self, graph: Graph | None = None) -> "Simulation":
+        """Use the agent engine, optionally on a specific graph."""
+        self._settings["graph"] = graph
+        return self.engine("agent")
+
+    # ------------------------------------------------------------------
+    # Replication, seeding, stopping
+    # ------------------------------------------------------------------
+    def replicas(self, num_runs: int) -> "Simulation":
+        self._settings["replicas"] = int(num_runs)
+        return self
+
+    def seed(self, seed: RandomState) -> "Simulation":
+        self._settings["seed"] = seed
+        return self
+
+    def max_rounds(self, budget: int) -> "Simulation":
+        self._settings["max_rounds"] = int(budget)
+        return self
+
+    def stop_when(
+        self, target: Callable[[np.ndarray], bool]
+    ) -> "Simulation":
+        """Replace the consensus check with a custom predicate."""
+        self._settings["target"] = target
+        return self
+
+    def observe_with(
+        self, observer_factory: Callable[[], Sequence]
+    ) -> "Simulation":
+        """Attach per-replica observers (factory is called per run)."""
+        self._settings["observer_factory"] = observer_factory
+        return self
+
+    def on_budget(self, policy: str) -> "Simulation":
+        """``"return"`` (default) or ``"raise"`` on budget exhaustion."""
+        self._settings["on_budget"] = policy
+        return self
+
+    # ------------------------------------------------------------------
+    # Terminal operations
+    # ------------------------------------------------------------------
+    def build(self) -> SimulationSpec:
+        """Freeze into a validated :class:`SimulationSpec`."""
+        return SimulationSpec(**self._settings)
+
+    def run(self) -> ResultSet:
+        """Build and execute, returning the aggregated results."""
+        return self.build().run()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{key}={value!r}"
+            for key, value in self._settings.items()
+            if value is not None
+        )
+        return f"Simulation({inner})"

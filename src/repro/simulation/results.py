@@ -1,0 +1,195 @@
+"""Aggregate results of a replicated simulation.
+
+:class:`ResultSet` wraps the per-replica
+:class:`~repro.engine.runner.RunResult` list that every execution path
+produces and adds the vectorised accessors the analysis layer keeps
+re-deriving by hand: consensus-time quantiles with explicit censoring,
+winner histograms, and CSV/dict export.  It is a
+:class:`collections.abc.Sequence`, so existing helpers that expect a
+plain list of results (e.g. ``repro.analysis.estimators``) keep working
+unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine.runner import RunResult
+
+__all__ = ["ResultSet"]
+
+
+class ResultSet(Sequence):
+    """Per-replica run results plus vectorised aggregate views.
+
+    Parameters
+    ----------
+    results:
+        One :class:`~repro.engine.runner.RunResult` per replica.
+    spec:
+        The :class:`~repro.simulation.spec.SimulationSpec` that produced
+        them, when available (kept for provenance; ``summary()`` and
+        ``winner_histogram()`` use it).
+    """
+
+    def __init__(self, results: Sequence[RunResult], spec=None) -> None:
+        # Empty sets are allowed (an empty slice of a list is a list);
+        # the aggregate accessors degrade to NaN / zero counts.
+        self._results = tuple(results)
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Sequence protocol — drop-in for list[RunResult]
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self._results)
+
+    def __getitem__(self, index):
+        picked = self._results[index]
+        if isinstance(index, slice):
+            return ResultSet(picked, spec=self.spec)
+        return picked
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultSet({len(self)} runs, "
+            f"{self.num_converged} converged)"
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorised accessors
+    # ------------------------------------------------------------------
+    @property
+    def consensus_times(self) -> np.ndarray:
+        """Per-replica consensus times; censored runs are NaN.
+
+        NaN (rather than dropping) keeps the array aligned with the
+        replica index and makes censoring visible in downstream
+        statistics — use :func:`numpy.nanmedian` & co., or filter.
+        """
+        return np.asarray(
+            [
+                float(r.rounds) if r.converged else float("nan")
+                for r in self._results
+            ],
+            dtype=np.float64,
+        )
+
+    @property
+    def rounds(self) -> np.ndarray:
+        """Rounds executed per replica (budget value when censored)."""
+        return np.asarray(
+            [r.rounds for r in self._results], dtype=np.int64
+        )
+
+    @property
+    def num_converged(self) -> int:
+        return sum(1 for r in self._results if r.converged)
+
+    @property
+    def num_censored(self) -> int:
+        """Replicas that exhausted their budget without consensus."""
+        return len(self) - self.num_converged
+
+    @property
+    def converged_fraction(self) -> float:
+        if not self._results:
+            return float("nan")
+        return self.num_converged / len(self)
+
+    @property
+    def median(self) -> float:
+        """Median consensus time over converged runs (NaN if none)."""
+        return float(self.quantiles(0.5)[0])
+
+    def quantiles(self, q) -> np.ndarray:
+        """Consensus-time quantiles over *converged* runs.
+
+        ``q`` is a scalar or sequence in ``[0, 1]``; censored runs are
+        excluded (check :attr:`num_censored` before trusting tails).
+        Returns NaN everywhere when no run converged.
+        """
+        qs = np.atleast_1d(np.asarray(q, dtype=np.float64))
+        times = self.consensus_times
+        finite = times[~np.isnan(times)]
+        if finite.size == 0:
+            return np.full(qs.shape, float("nan"))
+        return np.quantile(finite, qs)
+
+    def winner_histogram(self, num_opinions: int | None = None) -> np.ndarray:
+        """How often each opinion won, as a length-``k`` int array.
+
+        ``num_opinions`` defaults to the spec's ``k`` (or the maximum
+        winner label + 1).  Censored runs have no winner and are simply
+        absent from the histogram (its sum is :attr:`num_converged`).
+        """
+        winners = [
+            r.winner for r in self._results if r.winner is not None
+        ]
+        if num_opinions is None:
+            if self.spec is not None:
+                num_opinions = self.spec.k
+            else:
+                num_opinions = (max(winners) + 1) if winners else 1
+        return np.bincount(
+            np.asarray(winners, dtype=np.int64),
+            minlength=num_opinions,
+        ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        """One plain dict per replica (JSON-friendly)."""
+        return [
+            {
+                "replica": index,
+                "converged": bool(r.converged),
+                "rounds": int(r.rounds),
+                "winner": None if r.winner is None else int(r.winner),
+            }
+            for index, r in enumerate(self._results)
+        ]
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the per-replica table as CSV; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        rows = self.to_dicts()
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(
+                handle, fieldnames=["replica", "converged", "rounds", "winner"]
+            )
+            writer.writeheader()
+            writer.writerows(rows)
+        return path
+
+    def summary(self) -> str:
+        """Multi-line human summary of the aggregate."""
+        lines = []
+        if self.spec is not None:
+            lines.append(self.spec.describe())
+        lines.append(
+            f"{len(self)} runs, {self.num_converged} converged, "
+            f"{self.num_censored} censored"
+        )
+        if self.num_converged:
+            q10, q50, q90 = self.quantiles((0.1, 0.5, 0.9))
+            lines.append(
+                f"consensus time: median {q50:.0f}, "
+                f"q10 {q10:.0f}, q90 {q90:.0f}"
+            )
+            histogram = self.winner_histogram()
+            top = int(histogram.argmax())
+            lines.append(
+                f"winners: opinion {top} won {int(histogram[top])}/"
+                f"{self.num_converged}"
+            )
+        return "\n".join(lines)

@@ -1,10 +1,11 @@
-"""Ad-hoc parameter sweeps with caching and resume."""
+"""Ad-hoc parameter sweeps with caching, resume and worker pools."""
 
 from repro.sweep.grid import (
     SweepPoint,
     SweepSpec,
     consensus_time_point,
     run_sweep,
+    spec_from_params,
 )
 
 __all__ = [
@@ -12,4 +13,5 @@ __all__ = [
     "SweepSpec",
     "consensus_time_point",
     "run_sweep",
+    "spec_from_params",
 ]

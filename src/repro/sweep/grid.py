@@ -24,37 +24,66 @@ import hashlib
 import itertools
 import json
 from collections.abc import Callable, Mapping
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from repro.configs import balanced
-from repro.core.registry import make_dynamics
 from repro.engine import PopulationEngine, run_until_consensus
 from repro.errors import ConfigurationError
 from repro.seeding import RandomState, spawn_generators
+from repro.simulation import SimulationSpec
 
-__all__ = ["SweepPoint", "SweepSpec", "consensus_time_point", "run_sweep"]
+__all__ = [
+    "SweepPoint",
+    "SweepSpec",
+    "consensus_time_point",
+    "run_sweep",
+    "spec_from_params",
+]
 
 PointFunction = Callable[[Mapping, np.random.Generator], float]
+
+
+def spec_from_params(params: Mapping) -> SimulationSpec:
+    """Build a validated simulation spec from a flat grid-point dict.
+
+    Recognised keys: ``dynamics`` (default ``"3-majority"``), ``n``,
+    ``k``, ``initial`` (family name, default ``"balanced"``),
+    ``initial_params`` (dict of family parameters) and ``max_rounds``.
+    All of them are JSON-serialisable, so a point's spec is derivable
+    from its cache entry.  Validation happens here, eagerly, rather than
+    deep inside a half-finished sweep.
+    """
+    spec = SimulationSpec(
+        dynamics=params.get("dynamics", "3-majority"),
+        n=int(params["n"]),
+        k=int(params["k"]),
+        initial=params.get("initial", "balanced"),
+        initial_params=params.get("initial_params", {}),
+        max_rounds=(
+            int(params["max_rounds"]) if "max_rounds" in params else None
+        ),
+    )
+    return spec
 
 
 def consensus_time_point(
     params: Mapping, rng: np.random.Generator
 ) -> float:
-    """Default point function: consensus time from a balanced start.
+    """Default point function: consensus time of one run.
 
-    Expects ``params`` with keys ``dynamics`` (spec string, default
-    ``"3-majority"``), ``n``, ``k`` and optional ``max_rounds``.
-    Returns NaN when the round budget runs out, so censored points are
-    visible rather than silently dropped.
+    Builds a :class:`~repro.simulation.spec.SimulationSpec` via
+    :func:`spec_from_params` and measures a single population run on the
+    caller's stream.  Returns NaN when the round budget runs out, so
+    censored points are visible rather than silently dropped.
     """
-    dynamics = make_dynamics(params.get("dynamics", "3-majority"))
-    n, k = int(params["n"]), int(params["k"])
-    budget = int(params.get("max_rounds", 200 * (k + int(np.sqrt(n)))))
-    engine = PopulationEngine(dynamics, balanced(n, k), seed=rng)
-    result = run_until_consensus(engine, max_rounds=budget)
+    spec = spec_from_params(params)
+    engine = PopulationEngine(
+        spec.resolved_dynamics(), spec.initial_counts(), seed=rng
+    )
+    result = run_until_consensus(engine, max_rounds=spec.round_budget())
     return float(result.rounds) if result.converged else float("nan")
 
 
@@ -118,21 +147,54 @@ def _point_key(params: Mapping) -> str:
     return hashlib.sha256(canon.encode()).hexdigest()[:16]
 
 
+def _measure_point(
+    point_function: PointFunction,
+    params: Mapping,
+    entropy: list[int],
+    num_runs: int,
+) -> tuple[float, ...]:
+    """Evaluate one grid point across its replica streams.
+
+    Module-level (not a closure) so that ``workers > 1`` can ship it to
+    a worker process; ``point_function`` must therefore be picklable —
+    the default and any other module-level function is.
+    """
+    point_seed = np.random.SeedSequence(entropy)
+    return tuple(
+        float(point_function(params, rng))
+        for rng in spawn_generators(point_seed, num_runs)
+    )
+
+
 def run_sweep(
     spec: SweepSpec,
     point_function: PointFunction = consensus_time_point,
     cache_dir: str | Path | None = None,
+    workers: int | None = None,
 ) -> list[SweepPoint]:
     """Measure every grid point, loading cached points where present.
 
-    Seeds are derived per point from ``(spec.seed, point key)`` so a
-    point's result is independent of the rest of the grid — adding grid
-    values later never changes previously measured points.
+    Seeds are derived per point from ``(spec.seed entropy, point key)``
+    so a point's result is independent of the rest of the grid — adding
+    grid values later never changes previously measured points.
+
+    ``workers`` (when > 1) evaluates uncached points process-parallel
+    with :class:`concurrent.futures.ProcessPoolExecutor`; results and
+    cache files are identical to a sequential run because every point
+    owns its seed stream.  ``point_function`` must be picklable
+    (module-level) in that case.
     """
+    if workers is not None and workers < 1:
+        raise ConfigurationError(
+            f"workers must be a positive count, got {workers}"
+        )
     cache = Path(cache_dir) if cache_dir is not None else None
     if cache is not None:
         cache.mkdir(parents=True, exist_ok=True)
-    results: list[SweepPoint] = []
+    base_entropy = _seed_entropy(spec.seed)
+
+    results: list[SweepPoint | None] = []
+    pending: list[tuple[int, dict, Path | None, list[int]]] = []
     for params in spec.points():
         key = _point_key(params)
         cache_file = cache / f"{key}.json" if cache is not None else None
@@ -145,31 +207,66 @@ def run_sweep(
                 )
             )
             continue
-        point_seed = np.random.SeedSequence(
-            [_int_seed(spec.seed), int(key[:12], 16)]
-        )
-        values = tuple(
-            float(point_function(params, rng))
-            for rng in spawn_generators(point_seed, spec.num_runs)
-        )
-        point = SweepPoint(params=dict(params), values=values)
+        entropy = base_entropy + [int(key[:12], 16)]
+        results.append(None)
+        pending.append((len(results) - 1, dict(params), cache_file, entropy))
+
+    def _finish(entry, values) -> None:
+        # Cache files are written per point, as soon as its values are
+        # in hand, so an interrupted sweep keeps every finished point.
+        index, params, cache_file, _ = entry
+        point = SweepPoint(params=params, values=values)
         if cache_file is not None:
             cache_file.write_text(
                 json.dumps(
                     {"params": point.params, "values": list(values)}
                 )
             )
-        results.append(point)
-    return results
+        results[index] = point
+
+    if workers is not None and workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _measure_point,
+                    point_function,
+                    params,
+                    entropy,
+                    spec.num_runs,
+                )
+                for _, params, _, entropy in pending
+            ]
+            for entry, future in zip(pending, futures):
+                _finish(entry, future.result())
+    else:
+        for entry in pending:
+            _, params, _, entropy = entry
+            _finish(
+                entry,
+                _measure_point(
+                    point_function, params, entropy, spec.num_runs
+                ),
+            )
+    return results  # type: ignore[return-value]
 
 
-def _int_seed(seed: RandomState) -> int:
+def _seed_entropy(seed: RandomState) -> list[int]:
+    """Canonical integer entropy of a sweep seed.
+
+    Tuple seeds contribute *every* component in order — summing them
+    (as an earlier revision did) collapsed e.g. ``(1, 2)`` and ``(2, 1)``
+    into the same per-point stream.  Int seeds keep their historical
+    single-entry entropy, so existing caches with int seeds still match
+    their recorded values.
+    """
     if seed is None:
-        return 0
+        return [0]
     if isinstance(seed, (int, np.integer)):
-        return int(seed)
-    if isinstance(seed, (tuple, list)):
-        return int(sum(int(part) for part in seed))
+        return [int(seed)]
+    if isinstance(seed, (tuple, list)) and all(
+        isinstance(part, (int, np.integer)) for part in seed
+    ):
+        return [int(part) for part in seed]
     raise ConfigurationError(
         "sweep seeds must be ints or int tuples (cache keys must be "
         f"stable), got {type(seed).__name__}"

@@ -1,0 +1,238 @@
+"""Tests for the vectorised batch-replica engine.
+
+Two families of guarantees, mirroring the ledger-style invariant suites
+used for stateful simulators:
+
+* **distributional equivalence** — a batch of R replicas must simulate
+  the same Markov chain as R independent sequential runs (KS tests on
+  consensus times for both paper dynamics);
+* **conservation / ledger integrity** — per-replica mass is conserved
+  every round, the round index is bounded and monotone, frozen rows
+  never change again, and recorded consensus rounds are final.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import ks_2samp
+
+from repro.configs import balanced, zipf
+from repro.core import HMajority, ThreeMajority, TwoChoices, Voter
+from repro.engine import (
+    BatchPopulationEngine,
+    PopulationEngine,
+    replicate,
+    run_until_consensus,
+)
+from repro.errors import ConfigurationError, StateError
+
+
+def _sequential_times(dynamics, counts, runs, seed, max_rounds=100_000):
+    def one(rng):
+        engine = PopulationEngine(dynamics, counts, seed=rng)
+        return run_until_consensus(engine, max_rounds=max_rounds)
+
+    return [r.rounds for r in replicate(one, runs, seed=seed)]
+
+
+class TestConstruction:
+    def test_tile_from_single_configuration(self):
+        engine = BatchPopulationEngine(
+            ThreeMajority(), balanced(100, 4), num_replicas=5, seed=0
+        )
+        assert engine.counts.shape == (5, 4)
+        assert (engine.counts.sum(axis=1) == 100).all()
+
+    def test_matrix_start(self):
+        matrix = np.stack([balanced(60, 3), zipf(60, 3)])
+        engine = BatchPopulationEngine(TwoChoices(), matrix, seed=0)
+        assert engine.num_replicas == 2
+        assert engine.num_vertices == 60
+
+    def test_requires_num_replicas_for_vector(self):
+        with pytest.raises(ConfigurationError, match="num_replicas"):
+            BatchPopulationEngine(ThreeMajority(), balanced(100, 4))
+
+    def test_rejects_replica_count_mismatch(self):
+        matrix = np.stack([balanced(60, 3)] * 2)
+        with pytest.raises(ConfigurationError, match="rows"):
+            BatchPopulationEngine(
+                ThreeMajority(), matrix, num_replicas=3
+            )
+
+    def test_rejects_unequal_mass_rows(self):
+        matrix = np.asarray([[50, 50], [60, 50]])
+        with pytest.raises(ConfigurationError, match="total mass"):
+            BatchPopulationEngine(ThreeMajority(), matrix)
+
+    def test_rejects_3d_counts(self):
+        with pytest.raises(ConfigurationError, match="shape"):
+            BatchPopulationEngine(
+                ThreeMajority(), np.ones((2, 2, 2), dtype=np.int64)
+            )
+
+    def test_consensus_start_is_frozen_immediately(self):
+        engine = BatchPopulationEngine(
+            ThreeMajority(),
+            np.asarray([100, 0, 0]),
+            num_replicas=3,
+            seed=0,
+        )
+        assert engine.frozen.all()
+        results = engine.run_until_consensus(10)
+        assert all(r.converged and r.rounds == 0 for r in results)
+        assert all(r.winner == 0 for r in results)
+
+
+class TestConservationLedger:
+    """SNIPPETS-style strict invariants, checked after every round."""
+
+    @pytest.mark.parametrize(
+        "dynamics",
+        [ThreeMajority(), TwoChoices(), Voter(), HMajority(5)],
+        ids=lambda d: d.name,
+    )
+    def test_stepwise_invariants(self, dynamics):
+        engine = BatchPopulationEngine(
+            dynamics, balanced(200, 6), num_replicas=8, seed=42
+        )
+        n = engine.num_vertices
+        prev_round = engine.round_index
+        prev_frozen = engine.frozen.copy()
+        frozen_snapshots: dict[int, np.ndarray] = {}
+        # Budget covers the Voter baseline too, which needs Theta(n)
+        # rounds rather than the paper dynamics' polylog-ish times.
+        for _ in range(5000):
+            engine.step()
+            # 1. Mass conserved in every replica row, every round.
+            assert (engine.counts.sum(axis=1) == n).all()
+            # 2. Counts stay within [0, n].
+            assert (engine.counts >= 0).all()
+            assert (engine.counts <= n).all()
+            # 3. Round index is monotone, advancing by exactly one.
+            assert engine.round_index == prev_round + 1
+            prev_round = engine.round_index
+            # 4. Frozen is monotone: a frozen row never thaws...
+            assert (engine.frozen | ~prev_frozen).all()
+            # ...and its counts never change again.
+            for row, snapshot in frozen_snapshots.items():
+                assert (engine.counts[row] == snapshot).all()
+            for row in np.flatnonzero(engine.frozen & ~prev_frozen):
+                frozen_snapshots[int(row)] = engine.counts[row].copy()
+            # 5. Consensus rounds are recorded exactly for frozen rows.
+            assert (engine.consensus_rounds[engine.frozen] >= 0).all()
+            assert (
+                engine.consensus_rounds[engine.frozen]
+                <= engine.round_index
+            ).all()
+            assert (engine.consensus_rounds[~engine.frozen] == -1).all()
+            prev_frozen = engine.frozen.copy()
+            if engine.all_consensus():
+                break
+        assert engine.all_consensus(), (
+            f"{dynamics.name} batch did not finish within the budget"
+        )
+
+    def test_results_report_recorded_consensus_rounds(self):
+        engine = BatchPopulationEngine(
+            ThreeMajority(), balanced(400, 4), num_replicas=6, seed=7
+        )
+        results = engine.run_until_consensus(100_000)
+        assert len(results) == 6
+        for r, recorded in zip(results, engine.consensus_rounds):
+            assert r.converged
+            assert r.rounds == recorded
+            assert r.winner is not None
+            assert r.final_counts[r.winner] == 400
+
+    def test_budget_censoring(self):
+        engine = BatchPopulationEngine(
+            TwoChoices(), balanced(4096, 512), num_replicas=4, seed=0
+        )
+        results = engine.run_until_consensus(2)
+        assert engine.round_index == 2
+        assert all(not r.converged for r in results)
+        assert all(r.rounds == 2 and r.winner is None for r in results)
+
+    def test_negative_budget_rejected(self):
+        engine = BatchPopulationEngine(
+            ThreeMajority(), balanced(100, 2), num_replicas=2, seed=0
+        )
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            engine.run_until_consensus(-1)
+
+
+class TestDistributionalEquivalence:
+    """Batch R replicas ~ R independent sequential runs (KS tests).
+
+    Seeds are fixed, so these are deterministic checks that the two
+    samplers were drawn from indistinguishable distributions, not flaky
+    significance tests.
+    """
+
+    RUNS = 120
+
+    @pytest.mark.parametrize(
+        "dynamics", [ThreeMajority(), TwoChoices()], ids=lambda d: d.name
+    )
+    def test_consensus_time_distribution_matches(self, dynamics):
+        counts = balanced(1024, 8)
+        sequential = _sequential_times(
+            dynamics, counts, self.RUNS, seed=101
+        )
+        engine = BatchPopulationEngine(
+            dynamics, counts, num_replicas=self.RUNS, seed=202
+        )
+        batch = [
+            r.rounds for r in engine.run_until_consensus(100_000)
+        ]
+        statistic, p_value = ks_2samp(sequential, batch)
+        assert p_value > 1e-3, (
+            f"{dynamics.name}: KS statistic {statistic:.3f}, "
+            f"p={p_value:.2e} — batch and sequential consensus times "
+            "differ in distribution"
+        )
+
+    def test_winner_distribution_uniform_from_balanced(self):
+        # From an exactly balanced start every opinion is equally likely
+        # to win; a grossly skewed histogram would betray a bias in the
+        # batched sampler (e.g. favouring low indices).
+        engine = BatchPopulationEngine(
+            ThreeMajority(), balanced(512, 4), num_replicas=400, seed=9
+        )
+        results = engine.run_until_consensus(100_000)
+        histogram = np.bincount(
+            [r.winner for r in results], minlength=4
+        )
+        assert histogram.sum() == 400
+        # Expected 100 per bin; 5-sigma band for Binomial(400, 1/4).
+        assert (np.abs(histogram - 100) < 5 * np.sqrt(400 * 0.25 * 0.75)).all()
+
+
+class TestBatchMultinomialErrors:
+    def test_bad_row_reported_with_shape_and_dynamics(self):
+        from repro.core import batch_multinomial_counts
+
+        rng = np.random.default_rng(0)
+        probabilities = np.asarray([[0.5, 0.5], [0.9, 0.3]])
+        with pytest.raises(StateError) as excinfo:
+            batch_multinomial_counts(
+                np.asarray([10, 10]), probabilities, rng, "3-majority"
+            )
+        message = str(excinfo.value)
+        assert "row 1" in message
+        assert "(2, 2)" in message
+        assert "3-majority" in message
+
+    def test_scalar_variant_reports_shape_and_dynamics(self):
+        from repro.core import multinomial_counts
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(StateError) as excinfo:
+            multinomial_counts(
+                10, np.asarray([0.9, 0.3]), rng, "2-choices"
+            )
+        message = str(excinfo.value)
+        assert "(2,)" in message
+        assert "2-choices" in message

@@ -100,6 +100,137 @@ class TestSimulate:
         )
         assert code == 0
 
+    def test_batch_replicas_print_aggregate(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--n",
+                "2048",
+                "--k",
+                "16",
+                "--engine",
+                "batch",
+                "--replicas",
+                "8",
+                "--seed",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8 runs, 8 converged" in out
+        assert "consensus time: median" in out
+
+    def test_replicas_without_batch_aggregate(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--n",
+                "512",
+                "--k",
+                "4",
+                "--replicas",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 runs, 3 converged" in out
+
+    def test_aggregate_censoring_exit_code(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--n",
+                "4096",
+                "--k",
+                "512",
+                "--engine",
+                "batch",
+                "--replicas",
+                "4",
+                "--max-rounds",
+                "2",
+            ]
+        )
+        assert code == 1
+        assert "4 censored" in capsys.readouterr().out
+
+    def test_bad_config_parameters_exit_2(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--n",
+                "512",
+                "--k",
+                "8",
+                "--config",
+                "geometric_gamma",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_prints_grid_table(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--n",
+                "256",
+                "512",
+                "--k",
+                "2",
+                "4",
+                "--runs",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Consensus-time sweep (4 points" in out
+        assert "median T" in out
+
+    def test_multiple_dynamics_axis(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--dynamics",
+                "3-majority",
+                "2-choices",
+                "--n",
+                "256",
+                "--k",
+                "4",
+                "--runs",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3-majority" in out
+        assert "2-choices" in out
+
+    def test_cache_reuse(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--n",
+            "256",
+            "--k",
+            "4",
+            "--runs",
+            "2",
+            "--cache",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        files = sorted(tmp_path.glob("*.json"))
+        assert len(files) == 1
+        stamp = files[0].stat().st_mtime_ns
+        assert main(argv) == 0
+        assert files[0].stat().st_mtime_ns == stamp
+
 
 class TestReport:
     def test_writes_markdown(self, tmp_path, capsys):

@@ -1,0 +1,436 @@
+"""Tests for the unified simulation API (spec, builder, results)."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro import ResultSet, Simulation, SimulationSpec
+from repro.configs import balanced
+from repro.core import ThreeMajority
+from repro.engine import (
+    PopulationEngine,
+    RunResult,
+    TrajectoryRecorder,
+    replicate,
+    run_until_consensus,
+)
+from repro.errors import ConfigurationError, ConsensusNotReached
+from repro.graphs.generators import cycle_graph
+from repro.simulation import default_round_budget, execute
+from repro.experiments.base import measure_consensus_times
+
+
+class TestSpecValidation:
+    def test_defaults_resolve(self):
+        spec = SimulationSpec(n=100, k=4)
+        assert spec.engine == "population"
+        assert spec.initial == "balanced"
+        assert spec.round_budget() == default_round_budget(100, 4)
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError, match="engine"):
+            SimulationSpec(n=100, k=4, engine="warp")
+
+    def test_rejects_unknown_initial(self):
+        with pytest.raises(ConfigurationError, match="initial"):
+            SimulationSpec(n=100, k=4, initial="bogus")
+
+    def test_rejects_missing_nk(self):
+        with pytest.raises(ConfigurationError, match="n and k"):
+            SimulationSpec()
+
+    def test_rejects_generator_seed(self):
+        with pytest.raises(ConfigurationError, match="declarative"):
+            SimulationSpec(n=100, k=4, seed=np.random.default_rng(0))
+
+    def test_rejects_bad_dynamics_eagerly(self):
+        with pytest.raises(ConfigurationError, match="unknown dynamics"):
+            SimulationSpec(dynamics="42-flavour", n=100, k=4)
+
+    def test_rejects_bad_initial_params_eagerly(self):
+        with pytest.raises(ConfigurationError, match="zipf"):
+            SimulationSpec(
+                n=100, k=4, initial="zipf", initial_params={"slope": 2}
+            )
+
+    def test_rejects_graph_off_agent_engine(self):
+        with pytest.raises(ConfigurationError, match="agent"):
+            SimulationSpec(
+                n=10, k=2, engine="population", graph=cycle_graph(10)
+            )
+
+    def test_rejects_graph_size_mismatch(self):
+        with pytest.raises(ConfigurationError, match="vertices"):
+            SimulationSpec(
+                n=12, k=2, engine="agent", graph=cycle_graph(10)
+            )
+
+    def test_batch_rejects_observers_and_target(self):
+        with pytest.raises(ConfigurationError, match="target"):
+            SimulationSpec(
+                n=100, k=4, engine="batch", target=lambda c: True
+            )
+        with pytest.raises(ConfigurationError, match="observers"):
+            SimulationSpec(
+                n=100,
+                k=4,
+                engine="batch",
+                observer_factory=lambda: (),
+            )
+
+    def test_counts_derive_and_check_nk(self):
+        spec = SimulationSpec(counts=np.asarray([30, 20]))
+        assert (spec.n, spec.k) == (50, 2)
+        assert spec.initial == "custom"
+        with pytest.raises(ConfigurationError, match="sum"):
+            SimulationSpec(counts=np.asarray([30, 20]), n=60)
+        with pytest.raises(ConfigurationError, match="opinions"):
+            SimulationSpec(counts=np.asarray([30, 20]), k=3)
+
+    def test_spec_counts_are_frozen(self):
+        spec = SimulationSpec(counts=np.asarray([30, 20]))
+        with pytest.raises(ValueError):
+            spec.counts[0] = 7
+        fresh = spec.initial_counts()
+        fresh[0] = 7  # copies are writable
+        assert spec.counts[0] == 30
+
+    def test_initial_counts_matches_family(self):
+        spec = SimulationSpec(n=100, k=4, initial="zipf")
+        assert (spec.initial_counts() == np.asarray(
+            SimulationSpec(n=100, k=4, initial="zipf").initial_counts()
+        )).all()
+        assert spec.initial_counts().sum() == 100
+
+    def test_random_initial_family_is_reproducible_from_spec_seed(self):
+        """dirichlet starts derive their stream from the spec seed."""
+        spec = SimulationSpec(
+            dynamics="voter", n=100, k=3, initial="dirichlet", seed=42
+        )
+        assert (spec.initial_counts() == spec.initial_counts()).all()
+        twin = SimulationSpec(
+            dynamics="voter", n=100, k=3, initial="dirichlet", seed=42
+        )
+        assert (spec.initial_counts() == twin.initial_counts()).all()
+        other = SimulationSpec(
+            dynamics="voter", n=100, k=3, initial="dirichlet", seed=43
+        )
+        assert (spec.initial_counts() != other.initial_counts()).any()
+        # Whole runs of the same frozen spec agree too.
+        assert (
+            spec.run().consensus_times == twin.run().consensus_times
+        ).all()
+
+    def test_random_initial_family_explicit_seed_wins(self):
+        spec = SimulationSpec(
+            n=100,
+            k=3,
+            initial="dirichlet",
+            initial_params={"seed": 7},
+            seed=1,
+        )
+        other = SimulationSpec(
+            n=100,
+            k=3,
+            initial="dirichlet",
+            initial_params={"seed": 7},
+            seed=2,
+        )
+        assert (spec.initial_counts() == other.initial_counts()).all()
+
+    def test_describe_mentions_engine_and_start(self):
+        spec = SimulationSpec(n=100, k=4, engine="batch", replicas=8)
+        text = spec.describe()
+        assert "engine=batch" in text
+        assert "balanced" in text
+
+
+class TestBuilder:
+    def test_builds_equivalent_spec(self):
+        spec = (
+            Simulation.of("2-choices")
+            .n(1000)
+            .k(10)
+            .zipf(exponent=0.5)
+            .replicas(4)
+            .batch()
+            .seed(3)
+            .max_rounds(500)
+            .build()
+        )
+        assert spec == SimulationSpec(
+            dynamics="2-choices",
+            n=1000,
+            k=10,
+            initial="zipf",
+            initial_params={"exponent": 0.5},
+            engine="batch",
+            replicas=4,
+            seed=3,
+            max_rounds=500,
+        )
+
+    def test_counts_clears_nk(self):
+        spec = (
+            Simulation.of("voter").n(5).k(5).counts([10, 10]).build()
+        )
+        assert (spec.n, spec.k) == (20, 2)
+
+    def test_from_spec_roundtrip(self):
+        original = SimulationSpec(
+            n=100, k=4, engine="batch", replicas=8, seed=5
+        )
+        rebuilt = Simulation.from_spec(original).build()
+        assert rebuilt == original
+
+    def test_on_graph_selects_agent_engine(self):
+        spec = (
+            Simulation.of("3-majority")
+            .n(10)
+            .k(2)
+            .on_graph(cycle_graph(10))
+            .build()
+        )
+        assert spec.engine == "agent"
+
+    def test_run_returns_result_set(self):
+        results = (
+            Simulation.of("3-majority")
+            .n(200)
+            .k(4)
+            .replicas(3)
+            .seed(0)
+            .run()
+        )
+        assert isinstance(results, ResultSet)
+        assert len(results) == 3
+
+
+class TestExecuteEngines:
+    def test_population_matches_legacy_replicate_bitwise(self):
+        """The spec path must reproduce the historical seed streams."""
+        counts = balanced(512, 8)
+        spec = SimulationSpec(
+            dynamics="3-majority",
+            counts=counts,
+            replicas=5,
+            seed=11,
+            max_rounds=10_000,
+        )
+        via_spec = execute(spec)
+
+        def legacy(rng):
+            engine = PopulationEngine(ThreeMajority(), counts, seed=rng)
+            return run_until_consensus(engine, max_rounds=10_000)
+
+        via_replicate = replicate(legacy, 5, seed=11)
+        assert [r.rounds for r in via_spec] == [
+            r.rounds for r in via_replicate
+        ]
+        assert [r.winner for r in via_spec] == [
+            r.winner for r in via_replicate
+        ]
+
+    def test_batch_engine_runs(self):
+        results = (
+            Simulation.of("3-majority")
+            .n(2000)
+            .k(16)
+            .replicas(12)
+            .batch()
+            .seed(1)
+            .run()
+        )
+        assert results.num_converged == 12
+        assert (results.winner_histogram().sum()) == 12
+
+    def test_agent_engine_on_cycle(self):
+        results = (
+            Simulation.of("voter")
+            .n(16)
+            .k(2)
+            .on_graph(cycle_graph(16))
+            .replicas(2)
+            .max_rounds(50_000)
+            .seed(4)
+            .run()
+        )
+        assert len(results) == 2
+        assert all(r.converged for r in results)
+
+    def test_async_engine_reports_ticks(self):
+        results = (
+            Simulation.of("3-majority")
+            .n(300)
+            .k(3)
+            .asynchronous()
+            .replicas(2)
+            .seed(5)
+            .run()
+        )
+        for r in results:
+            assert r.converged
+            assert r.metrics["ticks"] >= r.rounds
+            assert r.rounds == int(np.ceil(r.metrics["ticks"] / 300))
+
+    def test_observer_factory_gives_fresh_observers_per_replica(self):
+        results = (
+            Simulation.of("3-majority")
+            .n(200)
+            .k(4)
+            .replicas(3)
+            .observe_with(lambda: (TrajectoryRecorder(),))
+            .seed(0)
+            .run()
+        )
+        recorders = [r.metrics["observers"][0] for r in results]
+        assert len({id(rec) for rec in recorders}) == 3
+        for r, rec in zip(results, recorders):
+            # Initial observation plus one per executed round.
+            assert len(rec.rounds) == r.rounds + 1
+
+    def test_on_budget_raise(self):
+        spec = SimulationSpec(
+            dynamics="2-choices",
+            n=4096,
+            k=512,
+            replicas=2,
+            max_rounds=2,
+            on_budget="raise",
+        )
+        with pytest.raises(ConsensusNotReached):
+            execute(spec)
+        with pytest.raises(ConsensusNotReached):
+            execute(
+                SimulationSpec(
+                    dynamics="2-choices",
+                    n=4096,
+                    k=512,
+                    engine="batch",
+                    replicas=2,
+                    max_rounds=2,
+                    on_budget="raise",
+                )
+            )
+
+    def test_custom_target_predicate(self):
+        spec = SimulationSpec(
+            dynamics="3-majority",
+            n=1000,
+            k=10,
+            replicas=2,
+            seed=2,
+            target=lambda counts: np.count_nonzero(counts) <= 5,
+        )
+        for r in execute(spec):
+            assert r.converged
+            assert np.count_nonzero(r.final_counts) <= 5
+
+
+class TestResultSet:
+    def _mixed(self):
+        return ResultSet(
+            [
+                RunResult(True, 10, 1, np.asarray([0, 50])),
+                RunResult(True, 20, 0, np.asarray([50, 0])),
+                RunResult(False, 99, None, np.asarray([25, 25])),
+            ]
+        )
+
+    def test_sequence_protocol(self):
+        results = self._mixed()
+        assert len(results) == 3
+        assert results[0].rounds == 10
+        assert [r.rounds for r in results] == [10, 20, 99]
+        sliced = results[:2]
+        assert isinstance(sliced, ResultSet)
+        assert len(sliced) == 2
+
+    def test_consensus_times_nan_for_censored(self):
+        times = self._mixed().consensus_times
+        assert times[0] == 10 and times[1] == 20
+        assert np.isnan(times[2])
+
+    def test_quantiles_exclude_censored(self):
+        results = self._mixed()
+        assert results.median == 15
+        assert results.quantiles((0.0, 1.0)).tolist() == [10.0, 20.0]
+
+    def test_quantiles_all_censored_is_nan(self):
+        results = ResultSet(
+            [RunResult(False, 9, None, np.asarray([1, 1]))]
+        )
+        assert np.isnan(results.median)
+
+    def test_censoring_counts(self):
+        results = self._mixed()
+        assert results.num_converged == 2
+        assert results.num_censored == 1
+        assert results.converged_fraction == pytest.approx(2 / 3)
+
+    def test_winner_histogram(self):
+        histogram = self._mixed().winner_histogram(num_opinions=3)
+        assert histogram.tolist() == [1, 1, 0]
+
+    def test_empty_slice_degrades_gracefully(self):
+        """Slicing must mirror list semantics, including empty slices."""
+        empty = self._mixed()[0:0]
+        assert isinstance(empty, ResultSet)
+        assert len(empty) == 0
+        assert list(empty) == []
+        assert empty.num_converged == 0
+        assert np.isnan(empty.converged_fraction)
+        assert np.isnan(empty.median)
+        assert ResultSet([]).winner_histogram().tolist() == [0]
+
+    def test_to_dicts_and_csv(self, tmp_path):
+        results = self._mixed()
+        dicts = results.to_dicts()
+        assert dicts[2] == {
+            "replica": 2,
+            "converged": False,
+            "rounds": 99,
+            "winner": None,
+        }
+        path = results.to_csv(tmp_path / "runs.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[0]["rounds"] == "10"
+
+    def test_summary_mentions_censoring(self):
+        text = self._mixed().summary()
+        assert "1 censored" in text
+        assert "median 15" in text
+
+
+class TestMeasureConsensusTimesShim:
+    def test_bitwise_compatible_with_seed_streams(self):
+        counts = balanced(512, 8)
+        results = measure_consensus_times(
+            ThreeMajority(), counts, num_runs=4, max_rounds=10_000, seed=9
+        )
+        assert isinstance(results, ResultSet)
+
+        def legacy(rng):
+            engine = PopulationEngine(ThreeMajority(), counts, seed=rng)
+            return run_until_consensus(engine, max_rounds=10_000)
+
+        expected = replicate(legacy, 4, seed=9)
+        assert [r.rounds for r in results] == [
+            r.rounds for r in expected
+        ]
+
+    def test_batch_engine_option(self):
+        results = measure_consensus_times(
+            ThreeMajority(),
+            balanced(512, 8),
+            num_runs=6,
+            max_rounds=10_000,
+            seed=1,
+            engine="batch",
+        )
+        assert results.num_converged == 6

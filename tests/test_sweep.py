@@ -8,8 +8,13 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.sweep import SweepPoint, SweepSpec, run_sweep
-from repro.sweep.grid import _point_key, consensus_time_point
+from repro.sweep import (
+    SweepPoint,
+    SweepSpec,
+    run_sweep,
+    spec_from_params,
+)
+from repro.sweep.grid import _point_key, _seed_entropy, consensus_time_point
 
 
 def _cheap_point(params, rng):
@@ -121,6 +126,101 @@ class TestRunSweep:
         spec = SweepSpec(grid={"x": [1]}, seed=np.random.default_rng(0))
         with pytest.raises(ConfigurationError, match="stable"):
             run_sweep(spec, point_function=_cheap_point)
+
+    def test_tuple_seed_order_matters(self):
+        """Regression: (1, 2) and (2, 1) used to collapse (summed)."""
+        a = run_sweep(
+            SweepSpec(grid={"x": [1]}, num_runs=6, seed=(1, 2)),
+            point_function=_cheap_point,
+        )
+        b = run_sweep(
+            SweepSpec(grid={"x": [1]}, num_runs=6, seed=(2, 1)),
+            point_function=_cheap_point,
+        )
+        assert a[0].values != b[0].values
+
+    def test_int_seed_entropy_unchanged(self):
+        """Int seeds keep their historical single-entry entropy."""
+        assert _seed_entropy(7) == [7]
+        assert _seed_entropy(None) == [0]
+        assert _seed_entropy((3, 4)) == [3, 4]
+
+    def test_workers_match_sequential(self, tmp_path):
+        spec = SweepSpec(grid={"x": [1, 2, 3]}, num_runs=3, seed=8)
+        sequential = run_sweep(spec, point_function=_cheap_point)
+        parallel = run_sweep(
+            spec, point_function=_cheap_point, workers=2
+        )
+        assert [p.values for p in sequential] == [
+            p.values for p in parallel
+        ]
+
+    def test_workers_populate_cache(self, tmp_path):
+        spec = SweepSpec(grid={"x": [1, 2]}, num_runs=2, seed=1)
+        run_sweep(
+            spec,
+            point_function=_cheap_point,
+            cache_dir=tmp_path,
+            workers=2,
+        )
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        calls = []
+
+        def spy(params, rng):
+            calls.append(params)
+            return 0.0
+
+        run_sweep(spec, point_function=spy, cache_dir=tmp_path)
+        assert not calls
+
+    def test_cache_written_incrementally(self, tmp_path):
+        """An interrupted sweep must keep every finished point."""
+        spec = SweepSpec(grid={"x": [1, 2, 3]}, num_runs=1, seed=0)
+        seen = []
+
+        def explodes_on_third(params, rng):
+            seen.append(params["x"])
+            if len(seen) == 3:
+                raise RuntimeError("boom")
+            return float(params["x"])
+
+        with pytest.raises(RuntimeError):
+            run_sweep(
+                spec,
+                point_function=explodes_on_third,
+                cache_dir=tmp_path,
+            )
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_rejects_nonpositive_workers(self):
+        spec = SweepSpec(grid={"x": [1]})
+        with pytest.raises(ConfigurationError, match="workers"):
+            run_sweep(spec, point_function=_cheap_point, workers=0)
+
+
+class TestSpecFromParams:
+    def test_builds_validated_spec(self):
+        spec = spec_from_params(
+            {"dynamics": "2-choices", "n": 256, "k": 4, "max_rounds": 99}
+        )
+        assert spec.n == 256
+        assert spec.round_budget() == 99
+
+    def test_initial_family_passthrough(self):
+        spec = spec_from_params(
+            {
+                "n": 256,
+                "k": 4,
+                "initial": "zipf",
+                "initial_params": {"exponent": 2.0},
+            }
+        )
+        counts = spec.initial_counts()
+        assert counts[0] > counts[-1]
+
+    def test_invalid_params_raise_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            spec_from_params({"n": 2, "k": 4})
 
 
 class TestConsensusTimePoint:
