@@ -10,6 +10,13 @@ sweeps F through that scale and reports when agreement survives.  Note
 that with any F >= 1 the attacker can keep a token minority alive
 forever, so "agreement" means the leader holds all but 4F replicas.
 
+Adversaries are first-class in the unified simulation API: each sweep
+point below is one fluent ``Simulation`` with ``.adversary(...)``, run
+on the batch engine so all RUNS attacked chains advance as a single
+vectorised count matrix (the legacy hand-wired
+``AdversarialPopulationEngine`` loop this replaces was RUNS sequential
+Python round-loops).
+
 Run:  python examples/adversarial_consensus.py
 """
 
@@ -17,14 +24,11 @@ from __future__ import annotations
 
 import math
 
-from repro import (
-    AdversarialPopulationEngine,
-    SupportRunnerUp,
-    ThreeMajority,
-)
+import numpy as np
+
+from repro import Simulation
+from repro.adversary import near_consensus_target
 from repro.analysis import format_table
-from repro.configs import balanced
-from repro.seeding import spawn_generators
 
 N = 16_384
 K = 8
@@ -34,22 +38,24 @@ SEED = 99
 
 
 def survive_attack(budget: int, seed) -> tuple[float, float]:
-    threshold = N if budget == 0 else N - 4 * budget
-    times = []
-    for rng in spawn_generators(seed, RUNS):
-        engine = AdversarialPopulationEngine(
-            ThreeMajority(),
-            balanced(N, K),
-            SupportRunnerUp(budget),
-            seed=rng,
-        )
-        for _ in range(WINDOW):
-            engine.step()
-            if int(engine.counts.max()) >= threshold:
-                times.append(engine.round_index)
-                break
-    fraction = len(times) / RUNS
-    median = float(sorted(times)[len(times) // 2]) if times else math.nan
+    results = (
+        Simulation.of("3-majority")
+        .n(N)
+        .k(K)
+        .replicas(RUNS)
+        .batch()
+        .adversary("runner-up", budget)
+        .stop_when(near_consensus_target(N, budget))
+        .max_rounds(WINDOW)
+        .seed(seed)
+        .run()
+    )
+    fraction = results.converged_fraction
+    median = (
+        float(np.nanmedian(results.consensus_times))
+        if results.num_converged
+        else math.nan
+    )
     return fraction, median
 
 

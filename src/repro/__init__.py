@@ -49,9 +49,12 @@ Package map
 
 from repro.adversary import (
     AdversarialPopulationEngine,
+    Adversary,
     RandomCorruption,
     ReviveWeakest,
     SupportRunnerUp,
+    available_adversaries,
+    make_adversary,
 )
 from repro.core import (
     Dynamics,
@@ -67,9 +70,13 @@ from repro.engine import (
     AgentEngine,
     AsyncPopulationEngine,
     BatchPopulationEngine,
+    EngineInfo,
     PopulationEngine,
     RunResult,
     TrajectoryRecorder,
+    available_engines,
+    get_engine,
+    register_engine,
     replicate,
     run_until_consensus,
 )
@@ -93,6 +100,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdversarialPopulationEngine",
+    "Adversary",
     "AgentEngine",
     "ApproximateMajority",
     "AsyncPopulationEngine",
@@ -101,6 +109,7 @@ __all__ = [
     "ConfigurationError",
     "ConsensusNotReached",
     "Dynamics",
+    "EngineInfo",
     "GraphError",
     "HMajority",
     "MedianRule",
@@ -123,7 +132,12 @@ __all__ = [
     "UndecidedStateDynamics",
     "Voter",
     "__version__",
+    "available_adversaries",
+    "available_engines",
+    "get_engine",
+    "make_adversary",
     "make_dynamics",
+    "register_engine",
     "replicate",
     "run_sweep",
     "run_until_consensus",

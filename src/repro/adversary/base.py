@@ -10,6 +10,14 @@ Adversaries act on count vectors (population level): a corruption is a
 movement of at most ``F`` units of mass.  They receive the full
 configuration each round — a strong (omniscient, adaptive) adversary in
 the sense of the literature.
+
+Adversaries are a first-class dimension of the unified simulation API:
+every engine (population, agent, async, batch) accepts one and applies
+it after each synchronous round, enforcing the corruption contract via
+:func:`enforce_corruption_contract` — an *explicit* raise, never a bare
+``assert``, so the checks survive ``python -O``.  The batch engine uses
+:meth:`Adversary.corrupt_batch` to corrupt all R replica rows in one
+vectorised call.
 """
 
 from __future__ import annotations
@@ -21,9 +29,15 @@ import numpy as np
 from repro.core.base import Dynamics
 from repro.seeding import RandomState, as_generator
 from repro.state import validate_counts
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StateError
 
-__all__ = ["Adversary", "AdversarialPopulationEngine"]
+__all__ = [
+    "Adversary",
+    "AdversarialPopulationEngine",
+    "apply_corruption",
+    "enforce_corruption_contract",
+    "enforce_corruption_contract_batch",
+]
 
 
 class Adversary(abc.ABC):
@@ -43,20 +57,131 @@ class Adversary(abc.ABC):
         """Return the corrupted configuration (same total mass).
 
         Implementations must change at most :attr:`budget` vertices, i.e.
-        ``sum(|new - old|) / 2 <= budget``; the engine asserts this.
+        ``sum(|new - old|) / 2 <= budget``; every engine enforces this
+        via :func:`enforce_corruption_contract` (an explicit raise, so
+        the check survives ``python -O``).
         """
+
+    def corrupt_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Corrupt R replica rows of an ``(R, k)`` count matrix at once.
+
+        The contract is :meth:`corrupt` applied independently per row:
+        each row conserves its mass and moves at most :attr:`budget`
+        vertices.  This base implementation is the row-loop fallback
+        (correct for any strategy, no speedup); the bundled strategies
+        override it with fully vectorised versions, which is what makes
+        adversarial sweeps on
+        :class:`~repro.engine.batch.BatchPopulationEngine` fast.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape[0] == 0:
+            return counts.copy()
+        return np.stack(
+            [self.corrupt(row.copy(), rng) for row in counts]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(budget={self.budget})"
 
 
+def enforce_corruption_contract(
+    before: np.ndarray, after: np.ndarray, budget: int
+) -> np.ndarray:
+    """Validate one corruption: mass conserved, at most ``budget`` moves.
+
+    Returns the canonicalised corrupted vector.  Raises
+    :class:`~repro.errors.StateError` on mass/negativity violations and
+    :class:`~repro.errors.ConfigurationError` on budget violations —
+    explicit exceptions rather than ``assert``, so a buggy adversary
+    fails fast even under ``python -O``.
+    """
+    before = np.asarray(before)
+    after = validate_counts(after, n=int(before.sum()))
+    moved = int(np.abs(after - before).sum()) // 2
+    if moved > budget:
+        raise ConfigurationError(
+            f"adversary moved {moved} vertices, exceeding its "
+            f"budget of {budget}"
+        )
+    return after
+
+
+def enforce_corruption_contract_batch(
+    before: np.ndarray, after: np.ndarray, budget: int
+) -> np.ndarray:
+    """Row-wise contract check for :meth:`Adversary.corrupt_batch`.
+
+    Every replica row must conserve its mass, stay non-negative and move
+    at most ``budget`` vertices.  Error messages name the first
+    offending row so a buggy strategy is debuggable at R = 256.
+    """
+    before = np.asarray(before)
+    after = np.asarray(after, dtype=np.int64)
+    if after.shape != before.shape:
+        raise StateError(
+            f"batch corruption changed the matrix shape from "
+            f"{before.shape} to {after.shape}"
+        )
+    if (after < 0).any():
+        row = int(np.flatnonzero((after < 0).any(axis=1))[0])
+        raise StateError(
+            f"batch corruption produced negative counts in replica "
+            f"row {row}"
+        )
+    mass_before = before.sum(axis=1)
+    mass_after = after.sum(axis=1)
+    bad = mass_after != mass_before
+    if bad.any():
+        row = int(np.flatnonzero(bad)[0])
+        raise StateError(
+            f"batch corruption changed replica row {row}'s total mass "
+            f"from {int(mass_before[row])} to {int(mass_after[row])}"
+        )
+    moved = np.abs(after - before).sum(axis=1) // 2
+    over = moved > budget
+    if over.any():
+        row = int(np.flatnonzero(over)[0])
+        raise ConfigurationError(
+            f"adversary moved {int(moved[row])} vertices in replica "
+            f"row {row}, exceeding its budget of {budget}"
+        )
+    return after
+
+
+def apply_corruption(
+    counts: np.ndarray,
+    adversary: Adversary,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One checked corruption: corrupt ``counts`` and enforce the contract.
+
+    The adversary receives its own copy of the configuration: a strategy
+    that mutates its input in place could otherwise never fail the
+    contract (before and after would be the same array), and the
+    engine's own state stays isolated from the adversary.
+    """
+    before = np.asarray(counts)
+    corrupted = adversary.corrupt(before.copy(), rng)
+    return enforce_corruption_contract(before, corrupted, adversary.budget)
+
+
 class AdversarialPopulationEngine:
     """Population engine interleaving dynamics rounds with corruptions.
+
+    .. deprecated::
+        Legacy shim.  Adversaries are now first-class in the unified
+        simulation API — prefer
+        ``Simulation.of(dyn).n(n).k(k).adversary("runner-up", F).run()``
+        or ``PopulationEngine(dynamics, counts, seed, adversary=...)``;
+        the batch engine vectorises R adversarial replicas at once.
 
     Each logical round is: one dynamics round, then one adversary
     corruption — matching the "corrupt F vertices each round" model.
     The corruption contract (mass conservation, at most ``F`` moves) is
-    checked every round so a buggy adversary fails fast.
+    checked every round via :func:`enforce_corruption_contract` so a
+    buggy adversary fails fast, including under ``python -O``.
     """
 
     def __init__(
@@ -78,15 +203,9 @@ class AdversarialPopulationEngine:
         after_dynamics = self.dynamics.population_step(
             self.counts, self.rng
         )
-        corrupted = self.adversary.corrupt(after_dynamics, self.rng)
-        corrupted = validate_counts(corrupted, n=self.num_vertices)
-        moved = int(np.abs(corrupted - after_dynamics).sum()) // 2
-        if moved > self.adversary.budget:
-            raise ConfigurationError(
-                f"adversary moved {moved} vertices, exceeding its "
-                f"budget of {self.adversary.budget}"
-            )
-        self.counts = corrupted
+        self.counts = apply_corruption(
+            after_dynamics, self.adversary, self.rng
+        )
         self.round_index += 1
         return self.counts
 

@@ -1,0 +1,64 @@
+"""Adversary registry: build any strategy from a short string spec.
+
+Specs, CLI flags and sweep grid points refer to adversaries by name
+(``"random"``, ``"runner-up"``, ``"revive-weakest"``) plus a per-round
+budget ``F``; :func:`make_adversary` resolves such a pair into an
+:class:`~repro.adversary.base.Adversary` instance.  This mirrors
+:mod:`repro.core.registry` for dynamics: declarative names keep
+simulation specs JSON-serialisable (and therefore sweep-cacheable).
+"""
+
+from __future__ import annotations
+
+from repro.adversary.base import Adversary
+from repro.adversary.strategies import (
+    RandomCorruption,
+    ReviveWeakest,
+    SupportRunnerUp,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["available_adversaries", "make_adversary"]
+
+_STRATEGIES = {
+    "random": RandomCorruption,
+    "runner-up": SupportRunnerUp,
+    "support-runner-up": SupportRunnerUp,
+    "revive-weakest": ReviveWeakest,
+}
+
+
+def make_adversary(
+    spec: str | Adversary, budget: int | None = None
+) -> Adversary:
+    """Resolve ``spec`` into an :class:`~repro.adversary.base.Adversary`.
+
+    ``spec`` is a strategy name (any key of
+    :func:`available_adversaries`) with ``budget`` the per-round ``F``,
+    or an existing instance (returned unchanged; ``budget``, when also
+    given, must then match the instance's).
+    """
+    if isinstance(spec, Adversary):
+        if budget is not None and int(budget) != spec.budget:
+            raise ConfigurationError(
+                f"adversary budget {budget} conflicts with the "
+                f"instance's budget {spec.budget}"
+            )
+        return spec
+    key = str(spec).strip().lower()
+    factory = _STRATEGIES.get(key)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown adversary spec {spec!r}; known: "
+            + ", ".join(available_adversaries())
+        )
+    if budget is None:
+        raise ConfigurationError(
+            f"adversary {spec!r} requires a budget (the per-round F)"
+        )
+    return factory(int(budget))
+
+
+def available_adversaries() -> list[str]:
+    """Canonical names of all registered adversary strategies."""
+    return sorted(_STRATEGIES)

@@ -16,6 +16,13 @@ configuration is already at consensus, :class:`SupportRunnerUp` and
 adversary is a meaningful outcome, and a "revive the dead" adversary
 would trivially prevent consensus forever — that regime is measured by
 the tolerance sweep instead).
+
+Each strategy also overrides :meth:`~repro.adversary.base.Adversary.
+corrupt_batch` with a fully vectorised implementation over the batch
+engine's ``(R, k)`` count matrix — one numpy pass corrupts all R
+replicas, applying the per-row law of :meth:`corrupt` exactly (same
+distribution; tie-breaking among equal counts may pick a different but
+symmetric index).
 """
 
 from __future__ import annotations
@@ -47,6 +54,26 @@ class RandomCorruption(Adversary):
         new_counts += rng.multinomial(moved, np.full(k, 1.0 / k))
         return new_counts
 
+    def corrupt_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        counts = np.asarray(counts, dtype=np.int64)
+        if self.budget == 0 or counts.shape[0] == 0:
+            return counts.copy()
+        num_rows, k = counts.shape
+        totals = counts.sum(axis=1)
+        # Per-row victim draws in one batched multinomial (numpy
+        # broadcasts the (R,) trial counts against the (R, k) laws);
+        # renormalise defensively against float round-off.
+        alpha = counts / totals[:, None]
+        alpha /= alpha.sum(axis=1, keepdims=True)
+        victims = rng.multinomial(np.minimum(self.budget, totals), alpha)
+        victims = np.minimum(victims, counts)
+        moved = victims.sum(axis=1)
+        new_counts = counts - victims
+        new_counts += rng.multinomial(moved, np.full(k, 1.0 / k))
+        return new_counts
+
 
 class SupportRunnerUp(Adversary):
     """Move up to ``budget`` vertices from the leader to the runner-up."""
@@ -70,6 +97,35 @@ class SupportRunnerUp(Adversary):
         new_counts[runner_up] += move
         return new_counts
 
+    def corrupt_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        counts = np.asarray(counts, dtype=np.int64)
+        new_counts = counts.copy()
+        if self.budget == 0 or counts.shape[0] == 0:
+            return new_counts
+        num_rows, k = counts.shape
+        if k < 2:
+            return new_counts
+        # Zeros sort to the front, so the last two columns of the sorted
+        # order are the leader and the strongest challenger; a zero
+        # runner-up count means fewer than two alive opinions.
+        order = np.argsort(counts, axis=1, kind="stable")
+        rows = np.arange(num_rows)
+        leader = order[:, -1]
+        runner_up = order[:, -2]
+        leader_counts = counts[rows, leader]
+        runner_counts = counts[rows, runner_up]
+        gap = leader_counts - runner_counts
+        move = np.minimum(
+            np.minimum(self.budget, np.maximum(gap // 2, 0)),
+            leader_counts - 1,
+        )
+        move = np.where(runner_counts > 0, move, 0)
+        new_counts[rows, leader] -= move
+        new_counts[rows, runner_up] += move
+        return new_counts
+
 
 class ReviveWeakest(Adversary):
     """Feed the weakest surviving opinion from the leader's mass."""
@@ -87,4 +143,28 @@ class ReviveWeakest(Adversary):
         move = min(self.budget, int(counts[leader]) - 1)
         new_counts[leader] -= move
         new_counts[weakest] += move
+        return new_counts
+
+    def corrupt_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        counts = np.asarray(counts, dtype=np.int64)
+        new_counts = counts.copy()
+        if self.budget == 0 or counts.shape[0] == 0:
+            return new_counts
+        num_rows, k = counts.shape
+        if k < 2:
+            return new_counts
+        rows = np.arange(num_rows)
+        alive = (counts > 0).sum(axis=1)
+        # Weakest = first index attaining the alive minimum; leader =
+        # *last* index attaining the maximum, so the two never collide
+        # when at least two opinions are alive (e.g. an all-tied row).
+        masked = np.where(counts > 0, counts, np.iinfo(np.int64).max)
+        weakest = np.argmin(masked, axis=1)
+        leader = (k - 1) - np.argmax(counts[:, ::-1], axis=1)
+        move = np.minimum(self.budget, counts[rows, leader] - 1)
+        move = np.where(alive >= 2, move, 0)
+        new_counts[rows, leader] -= move
+        new_counts[rows, weakest] += move
         return new_counts

@@ -18,11 +18,22 @@ Subcommands
     single population run prints a per-round trajectory summary; with
     ``--replicas`` (or ``--engine batch``) it prints the aggregate
     consensus-time quantiles, censoring and winner histogram instead.
+    ``--adversary NAME --adversary-budget F`` attacks every run with an
+    F-bounded adversary ([GL18] model); with ``F >= 1`` the stopping
+    rule becomes the near-consensus threshold (leader holds all but 4F
+    vertices, majority-floored — strict consensus is trivially
+    blockable) on engines that support a custom target; engines without
+    one (``async``) measure strict consensus and say so.
 ``sweep --n N [N...] --k K [K...] [--dynamics D [D...]] [...]``
     Cached consensus-time sweep over the (dynamics, n, k) grid, with
-    optional process-parallel workers.
+    optional process-parallel workers.  ``--adversary NAME
+    --adversary-budget F [F...]`` adds the adversary to every point
+    (several budgets form a tolerance-sweep grid axis); adversarial
+    points cache under distinct keys per strategy and budget.
 ``dynamics``
     List the registered dynamics specs.
+``engines``
+    List the registered simulation engines with their capabilities.
 """
 
 from __future__ import annotations
@@ -31,11 +42,17 @@ import argparse
 import sys
 import time
 
+from repro.adversary import (
+    available_adversaries,
+    near_consensus_target,
+    near_consensus_threshold,
+)
 from repro.analysis.comparison import render_comparisons_markdown
 from repro.core.registry import available_dynamics
+from repro.engine.registry import available_engines, get_engine
 from repro.errors import ConfigurationError
 from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.simulation import ENGINE_KINDS, INITIAL_FAMILIES
+from repro.simulation import INITIAL_FAMILIES
 
 __all__ = ["main"]
 
@@ -52,6 +69,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list experiments")
     sub.add_parser("dynamics", help="list registered dynamics")
+    sub.add_parser("engines", help="list registered simulation engines")
 
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
@@ -87,7 +105,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "--engine",
         default="population",
-        choices=list(ENGINE_KINDS),
+        choices=available_engines(),
         help="simulation engine (default population)",
     )
     sim_parser.add_argument(
@@ -95,6 +113,19 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="independent runs; > 1 prints aggregate statistics",
+    )
+    sim_parser.add_argument(
+        "--adversary",
+        default=None,
+        choices=available_adversaries(),
+        help="F-bounded adversary strategy applied after every round",
+    )
+    sim_parser.add_argument(
+        "--adversary-budget",
+        type=int,
+        default=None,
+        metavar="F",
+        help="vertices the adversary may move per round",
     )
     sim_parser.add_argument("--seed", type=int, default=0)
     sim_parser.add_argument(
@@ -122,6 +153,23 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--seed", type=int, default=0)
     sweep_parser.add_argument(
         "--max-rounds", type=int, default=None, help="round budget per run"
+    )
+    sweep_parser.add_argument(
+        "--adversary",
+        default=None,
+        choices=available_adversaries(),
+        help="adversary strategy applied at every grid point",
+    )
+    sweep_parser.add_argument(
+        "--adversary-budget",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="F",
+        help=(
+            "adversary budget(s); several values add a tolerance-sweep "
+            "grid axis"
+        ),
     )
     sweep_parser.add_argument(
         "--cache",
@@ -179,6 +227,21 @@ def main(argv: list[str] | None = None) -> int:
         for name in available_dynamics():
             print(name)
         print("<h>-majority (e.g. 5-majority)")
+        return 0
+    if args.command == "engines":
+        for name in available_engines():
+            info = get_engine(name)
+            capabilities = ", ".join(
+                label
+                for label, flag in (
+                    ("graph", info.supports_graph),
+                    ("target", info.supports_target),
+                    ("observers", info.supports_observers),
+                    ("adversary", info.supports_adversary),
+                )
+                if flag
+            )
+            print(f"{name:12s} {info.description}  [{capabilities}]")
         return 0
     if args.command == "run":
         started = time.perf_counter()
@@ -260,6 +323,30 @@ def _simulate(args) -> int:
         .seed(args.seed)
         .max_rounds(args.max_rounds)
     )
+    threshold = None
+    if args.adversary is not None or args.adversary_budget is not None:
+        builder.adversary(args.adversary, args.adversary_budget)
+        if (
+            args.adversary_budget
+            and get_engine(args.engine).supports_target
+        ):
+            # An F >= 1 adversary can keep a stray vertex alive forever,
+            # so "consensus despite the adversary" means the leader
+            # reaches the near-consensus threshold (all but 4F
+            # vertices, floored at a strict majority).
+            threshold = near_consensus_threshold(
+                args.n, args.adversary_budget
+            )
+            builder.stop_when(
+                near_consensus_target(args.n, args.adversary_budget)
+            )
+        elif args.adversary_budget:
+            print(
+                f"note: engine={args.engine!r} does not support a "
+                "custom stopping target, so this run measures strict "
+                "consensus — a stalling adversary can block it for the "
+                "whole round budget"
+            )
     if trajectory:
         builder.observe_with(
             lambda: (TrajectoryRecorder(record_max_alpha=True),)
@@ -290,10 +377,17 @@ def _simulate(args) -> int:
                 f"leader={arrays['max_alpha'][pos]:.3f}"
             )
         if result.converged:
-            print(
-                f"consensus on opinion {result.winner} after "
-                f"{result.rounds} rounds ({wall:.2f}s wall-clock)"
-            )
+            if result.winner is not None:
+                print(
+                    f"consensus on opinion {result.winner} after "
+                    f"{result.rounds} rounds ({wall:.2f}s wall-clock)"
+                )
+            else:
+                print(
+                    f"leader reached the adversarial-agreement "
+                    f"threshold of {threshold} vertices after "
+                    f"{result.rounds} rounds ({wall:.2f}s wall-clock)"
+                )
             return 0
         print(
             f"no consensus within {args.max_rounds} rounds "
@@ -318,7 +412,22 @@ def _sweep(args) -> int:
         fixed["dynamics"] = args.dynamics[0]
     if args.max_rounds is not None:
         fixed["max_rounds"] = args.max_rounds
+    adversarial = args.adversary is not None
     try:
+        if adversarial:
+            if not args.adversary_budget:
+                raise ConfigurationError(
+                    "--adversary requires --adversary-budget F [F...]"
+                )
+            fixed["adversary"] = args.adversary
+            if len(args.adversary_budget) > 1:
+                grid["adversary_budget"] = args.adversary_budget
+            else:
+                fixed["adversary_budget"] = args.adversary_budget[0]
+        elif args.adversary_budget:
+            raise ConfigurationError(
+                "--adversary-budget requires --adversary NAME"
+            )
         spec = SweepSpec(
             grid=grid, num_runs=args.runs, seed=args.seed, fixed=fixed
         )
@@ -330,6 +439,7 @@ def _sweep(args) -> int:
         print(f"error: {exc}")
         return 2
     wall = time.perf_counter() - started
+    headers = ["dynamics", "n", "k", "median T", "censored", "runs"]
     rows = [
         [
             point.params["dynamics"],
@@ -341,16 +451,17 @@ def _sweep(args) -> int:
         ]
         for point in points
     ]
-    print(
-        format_table(
-            ["dynamics", "n", "k", "median T", "censored", "runs"],
-            rows,
-            title=(
-                f"Consensus-time sweep ({len(points)} points, "
-                f"{args.runs} runs each, seed={args.seed})"
-            ),
-        )
+    if adversarial:
+        headers.insert(3, "F")
+        for row, point in zip(rows, points):
+            row.insert(3, point.params["adversary_budget"])
+    title = (
+        f"Consensus-time sweep ({len(points)} points, "
+        f"{args.runs} runs each, seed={args.seed}"
+        + (f", adversary={args.adversary}" if adversarial else "")
+        + ")"
     )
+    print(format_table(headers, rows, title=title))
     print(f"elapsed: {wall:.2f}s wall-clock")
     return 0
 

@@ -7,7 +7,10 @@
   ([CMRSS25] model);
 * :class:`BatchPopulationEngine` — R replicas as one vectorised
   ``(R, k)`` count matrix;
-* :func:`run_until_consensus` / :func:`replicate` — run control.
+* :func:`run_until_consensus` / :func:`replicate` — run control;
+* :mod:`repro.engine.registry` — string-keyed engine registry; every
+  engine above registers a spec runner plus capability flags, and the
+  simulation layer and CLI dispatch through it.
 """
 
 from repro.engine.agent import AgentEngine
@@ -19,6 +22,14 @@ from repro.engine.callbacks import (
     TrajectoryRecorder,
 )
 from repro.engine.population import PopulationEngine
+from repro.engine.registry import (
+    Engine,
+    EngineInfo,
+    available_engines,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
 from repro.engine.runner import RunResult, replicate, run_until_consensus
 from repro.seeding import (
     RandomState,
@@ -44,12 +55,18 @@ __all__ = [
     "AgentEngine",
     "AsyncPopulationEngine",
     "BatchPopulationEngine",
+    "Engine",
+    "EngineInfo",
     "FunctionObserver",
     "Observer",
     "PopulationEngine",
     "RandomState",
     "RunResult",
     "TrajectoryRecorder",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "unregister_engine",
     "agents_to_counts",
     "alpha_from_counts",
     "as_generator",

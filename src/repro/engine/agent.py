@@ -11,11 +11,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.adversary.base import Adversary, apply_corruption
 from repro.core.base import Dynamics
+from repro.engine.registry import register_engine
+from repro.engine.runner import RunResult, replicate, run_spec_replica
 from repro.seeding import RandomState, as_generator
 from repro.state import (
     agents_to_counts,
     consensus_opinion,
+    counts_to_agents,
     gamma_from_counts,
     is_consensus,
     num_alive,
@@ -23,6 +27,7 @@ from repro.state import (
 )
 from repro.errors import ConfigurationError
 from repro.graphs.base import Graph
+from repro.graphs.complete import CompleteGraph
 
 __all__ = ["AgentEngine"]
 
@@ -44,6 +49,14 @@ class AgentEngine:
         are allowed so adversaries can inject fresh opinions).
     seed:
         Anything accepted by :func:`repro.seeding.as_generator`.
+    adversary:
+        Optional F-bounded :class:`~repro.adversary.base.Adversary`
+        applied after every round.  Adversaries act on count vectors;
+        this engine projects the corruption back onto vertices by
+        reassigning uniformly random holders of each losing opinion —
+        the natural lift of the population-level model (on non-complete
+        graphs this is one concrete choice of *which* vertices the
+        omniscient adversary flips).
     """
 
     def __init__(
@@ -53,9 +66,11 @@ class AgentEngine:
         opinions: np.ndarray,
         num_opinions: int | None = None,
         seed: RandomState = None,
+        adversary: Adversary | None = None,
     ) -> None:
         self.dynamics = dynamics
         self.graph = graph
+        self.adversary = adversary
         self.opinions = validate_agents(opinions, k=num_opinions).copy()
         if self.opinions.size != graph.num_vertices:
             raise ConfigurationError(
@@ -72,12 +87,43 @@ class AgentEngine:
         self.round_index = 0
 
     def step(self) -> np.ndarray:
-        """Execute one synchronous round; returns the new agent vector."""
+        """Execute one synchronous round; returns the new agent vector.
+
+        With an adversary, the round is followed by one checked
+        corruption of at most ``F`` vertices.
+        """
         self.opinions = self.dynamics.agent_step(
             self.opinions, self.graph, self.rng
         )
+        if self.adversary is not None:
+            self._apply_corruption()
         self.round_index += 1
         return self.opinions
+
+    def _apply_corruption(self) -> None:
+        """Corrupt on the count level, then lift back onto vertices."""
+        counts = agents_to_counts(self.opinions, self.num_opinions)
+        corrupted = apply_corruption(counts, self.adversary, self.rng)
+        delta = corrupted - counts
+        if not delta.any():
+            return
+        losers = np.flatnonzero(delta < 0)
+        victims = np.concatenate(
+            [
+                self.rng.choice(
+                    np.flatnonzero(self.opinions == opinion),
+                    size=int(-delta[opinion]),
+                    replace=False,
+                )
+                for opinion in losers
+            ]
+        )
+        gainers = np.flatnonzero(delta > 0)
+        new_labels = np.repeat(gainers, delta[gainers])
+        # Shuffle so victim->new-opinion pairing carries no positional
+        # bias when several opinions lose and several gain at once.
+        self.rng.shuffle(victims)
+        self.opinions[victims] = new_labels
 
     def run(self, rounds: int) -> np.ndarray:
         """Execute exactly ``rounds`` rounds (no early stopping)."""
@@ -112,7 +158,50 @@ class AgentEngine:
         return consensus_opinion(self.counts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        adv = (
+            f", adversary={self.adversary!r}"
+            if self.adversary is not None
+            else ""
+        )
         return (
             f"AgentEngine({self.dynamics.name}, graph={self.graph!r}, "
-            f"round={self.round_index})"
+            f"round={self.round_index}{adv})"
         )
+
+
+def _run_spec(spec) -> list[RunResult]:
+    """Registry adapter: R sequential agent-level runs over spawned streams.
+
+    Vertex identities are shuffled per replica, which matters on
+    non-complete graphs.
+    """
+    dynamics = spec.resolved_dynamics()
+    counts = spec.initial_counts()
+    budget = spec.round_budget()
+    adversary = spec.resolved_adversary()
+    graph = spec.graph or CompleteGraph(spec.n)
+
+    def factory(rng: np.random.Generator) -> RunResult:
+        opinions = counts_to_agents(counts, rng=rng, shuffle=True)
+        engine = AgentEngine(
+            dynamics,
+            graph,
+            opinions,
+            num_opinions=spec.k,
+            seed=rng,
+            adversary=adversary,
+        )
+        return run_spec_replica(engine, spec, budget)
+
+    return replicate(factory, num_runs=spec.replicas, seed=spec.seed)
+
+
+register_engine(
+    "agent",
+    _run_spec,
+    description="per-vertex chain on an arbitrary graph substrate",
+    supports_graph=True,
+    supports_target=True,
+    supports_observers=True,
+    supports_adversary=True,
+)

@@ -16,9 +16,15 @@ presets keep ``n`` moderate.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from repro.adversary.base import Adversary, apply_corruption
 from repro.core.base import Dynamics
+from repro.engine.registry import register_engine
+from repro.engine.runner import RunResult, replicate
+from repro.errors import ConsensusNotReached
 from repro.seeding import RandomState, as_generator
 from repro.state import (
     consensus_opinion,
@@ -38,6 +44,11 @@ class AsyncPopulationEngine:
     with ``tick_index`` counting individual vertex updates;
     ``round_index`` reports the synchronous-equivalent round
     ``tick_index // n``.
+
+    An optional :class:`~repro.adversary.base.Adversary` corrupts the
+    configuration once per synchronous-equivalent round, i.e. after
+    every ``n`` ticks — the natural translation of the [GL18] "F per
+    round" budget into the asynchronous model.
     """
 
     def __init__(
@@ -45,8 +56,10 @@ class AsyncPopulationEngine:
         dynamics: Dynamics,
         counts: np.ndarray,
         seed: RandomState = None,
+        adversary: Adversary | None = None,
     ) -> None:
         self.dynamics = dynamics
+        self.adversary = adversary
         self.counts = validate_counts(counts).copy()
         self.num_vertices = int(self.counts.sum())
         self.num_opinions = int(self.counts.size)
@@ -54,11 +67,23 @@ class AsyncPopulationEngine:
         self.tick_index = 0
 
     def step(self) -> np.ndarray:
-        """Execute one asynchronous tick (one vertex update)."""
+        """Execute one asynchronous tick (one vertex update).
+
+        With an adversary, every ``n``-th tick closes a
+        synchronous-equivalent round and triggers one checked
+        corruption.
+        """
         self.counts = self.dynamics.async_population_step(
             self.counts, self.rng
         )
         self.tick_index += 1
+        if (
+            self.adversary is not None
+            and self.tick_index % self.num_vertices == 0
+        ):
+            self.counts = apply_corruption(
+                self.counts, self.adversary, self.rng
+            )
         return self.counts
 
     def run_ticks(self, ticks: int) -> np.ndarray:
@@ -108,7 +133,62 @@ class AsyncPopulationEngine:
         return consensus_opinion(self.counts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        adv = (
+            f", adversary={self.adversary!r}"
+            if self.adversary is not None
+            else ""
+        )
         return (
             f"AsyncPopulationEngine({self.dynamics.name}, "
-            f"n={self.num_vertices}, tick={self.tick_index})"
+            f"n={self.num_vertices}, tick={self.tick_index}{adv})"
         )
+
+
+def _run_spec(spec) -> list[RunResult]:
+    """Registry adapter: R sequential asynchronous runs.
+
+    The spec's round budget is interpreted as ``max_rounds * n`` ticks;
+    the reported ``rounds`` is the synchronous-equivalent
+    ``ceil(ticks / n)`` with the raw tick count in
+    ``metrics["ticks"]``.
+    """
+    dynamics = spec.resolved_dynamics()
+    counts = spec.initial_counts()
+    budget = spec.round_budget()
+    adversary = spec.resolved_adversary()
+
+    def factory(rng: np.random.Generator) -> RunResult:
+        engine = AsyncPopulationEngine(
+            dynamics, counts, seed=rng, adversary=adversary
+        )
+        max_ticks = budget * spec.n
+        tick = engine.run_until_consensus(max_ticks)
+        converged = tick is not None
+        if not converged and spec.on_budget == "raise":
+            # Abort replication at the first censored replica instead
+            # of paying for the remaining full-budget runs.
+            raise ConsensusNotReached(
+                budget,
+                f"no consensus within {max_ticks} ticks "
+                f"({budget} synchronous-equivalent rounds)",
+            )
+        ticks = tick if converged else engine.tick_index
+        return RunResult(
+            converged=converged,
+            rounds=int(math.ceil(ticks / spec.n)),
+            winner=engine.winner() if converged else None,
+            final_counts=engine.counts.copy(),
+            metrics={"ticks": int(ticks)},
+        )
+
+    return replicate(factory, num_runs=spec.replicas, seed=spec.seed)
+
+
+register_engine(
+    "async",
+    _run_spec,
+    description="one-vertex-per-tick chain ([CMRSS25] model)",
+    supports_target=False,
+    supports_observers=False,
+    supports_adversary=True,
+)

@@ -15,17 +15,29 @@ Each row is the same Markov chain a single :class:`PopulationEngine` runs
 share one generator, so a batch run is *not* bitwise-identical to R
 seeded sequential runs — equal in distribution, not in realisation.
 
-Rows are frozen the round they reach consensus: they are excluded from
-subsequent sampling, their count vectors never change again, and their
-consensus round is recorded.  The engine keeps running until every row is
-frozen or the round budget is spent.
+Rows are frozen the round they stop: they are excluded from subsequent
+sampling, their count vectors never change again, and their stopping
+round is recorded.  The stopping rule is consensus by default, or a
+caller-supplied ``target`` predicate evaluated per row.  An optional
+F-bounded adversary corrupts every active row once per round (after the
+dynamics, before the stopping check — the same interleaving as the
+sequential adversarial chain), using the strategy's vectorised
+``corrupt_batch`` with the contract enforced on every row.  The engine
+keeps running until every row is frozen or the round budget is spent.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
+from repro.adversary.base import (
+    Adversary,
+    enforce_corruption_contract_batch,
+)
 from repro.core.base import Dynamics
+from repro.engine.registry import register_engine
 from repro.engine.runner import RunResult
 from repro.errors import ConfigurationError
 from repro.seeding import RandomState, as_generator
@@ -53,6 +65,14 @@ class BatchPopulationEngine:
     seed:
         Anything accepted by :func:`repro.seeding.as_generator`.  One
         stream drives all replicas.
+    adversary:
+        Optional F-bounded :class:`~repro.adversary.base.Adversary`
+        corrupting every active row after each round via
+        ``corrupt_batch`` (contract-checked per row).
+    target:
+        Optional stopping predicate on a single row's count vector;
+        replaces the consensus check, evaluated per active row per
+        round.  Rows satisfying it freeze exactly like consensus rows.
 
     Attributes
     ----------
@@ -61,9 +81,10 @@ class BatchPopulationEngine:
     round_index:
         Synchronous rounds executed so far (shared by all replicas).
     frozen:
-        Boolean ``(R,)`` mask of replicas that reached consensus.
+        Boolean ``(R,)`` mask of replicas that stopped (consensus, or
+        the ``target`` predicate when given).
     consensus_rounds:
-        Int ``(R,)`` array of per-replica consensus times (-1 while
+        Int ``(R,)`` array of per-replica stopping times (-1 while
         unfinished).
     """
 
@@ -73,8 +94,12 @@ class BatchPopulationEngine:
         counts: np.ndarray,
         num_replicas: int | None = None,
         seed: RandomState = None,
+        adversary: Adversary | None = None,
+        target: Callable[[np.ndarray], bool] | None = None,
     ) -> None:
         self.dynamics = dynamics
+        self.adversary = adversary
+        self.target = target
         arr = np.asarray(counts)
         if arr.ndim == 1:
             if num_replicas is None:
@@ -111,40 +136,72 @@ class BatchPopulationEngine:
         self.num_vertices = int(self.counts[0].sum())
         self.rng = as_generator(seed)
         self.round_index = 0
-        self.frozen = (
-            self.counts.max(axis=1) == self.num_vertices
-        )
+        self.frozen = self._stopped(self.counts)
         self.consensus_rounds = np.where(self.frozen, 0, -1).astype(
             np.int64
+        )
+
+    def _stopped(self, rows: np.ndarray) -> np.ndarray:
+        """Per-row stopping mask: consensus, or the ``target`` predicate.
+
+        Targets exposing a ``batch(rows)`` method (e.g.
+        :class:`~repro.adversary.tolerance.LeaderThresholdTarget`) are
+        evaluated in one vectorised call; plain predicates fall back to
+        a per-row loop.
+        """
+        if self.target is None:
+            return rows.max(axis=1) == self.num_vertices
+        batch_predicate = getattr(self.target, "batch", None)
+        if batch_predicate is not None:
+            return np.asarray(batch_predicate(rows), dtype=bool)
+        return np.fromiter(
+            (bool(self.target(row)) for row in rows),
+            dtype=bool,
+            count=rows.shape[0],
         )
 
     def step(self) -> np.ndarray:
         """Advance every unfinished replica one round.
 
-        Frozen rows are excluded from sampling and keep their counts;
-        rows that hit consensus this round record it and freeze.
+        Frozen rows are excluded from sampling (and from corruption)
+        and keep their counts; rows that hit the stopping rule this
+        round — checked *after* the adversary's corruption, matching
+        the sequential adversarial chain — record it and freeze.
         """
         active = ~self.frozen
         self.round_index += 1
         if active.any():
-            self.counts[active] = self.dynamics.population_step_batch(
+            new_rows = self.dynamics.population_step_batch(
                 self.counts[active], self.rng
             )
-            done = active & (self.counts.max(axis=1) == self.num_vertices)
+            if self.adversary is not None:
+                # The adversary gets its own copy so an in-place-
+                # mutating corrupt_batch cannot defeat the contract
+                # check by changing the "before" matrix too.
+                corrupted = self.adversary.corrupt_batch(
+                    new_rows.copy(), self.rng
+                )
+                new_rows = enforce_corruption_contract_batch(
+                    new_rows, corrupted, self.adversary.budget
+                )
+            self.counts[active] = new_rows
+            active_indices = np.flatnonzero(active)
+            done = active_indices[self._stopped(new_rows)]
             self.consensus_rounds[done] = self.round_index
-            self.frozen |= done
+            self.frozen[done] = True
         return self.counts
 
     def all_consensus(self) -> bool:
-        """True once every replica has reached consensus."""
+        """True once every replica has stopped."""
         return bool(self.frozen.all())
 
     def run_until_consensus(self, max_rounds: int) -> list[RunResult]:
         """Run until every replica froze or ``max_rounds`` rounds passed.
 
         Returns one :class:`~repro.engine.runner.RunResult` per replica,
-        in row order: converged replicas report their consensus time and
-        winner; censored ones report the budget with ``winner=None``.
+        in row order: converged replicas report their stopping time and
+        winner (``None`` unless at strict consensus); censored ones
+        report the budget with ``winner=None``.
         """
         if max_rounds < 0:
             raise ConfigurationError(
@@ -157,6 +214,7 @@ class BatchPopulationEngine:
     def results(self) -> list[RunResult]:
         """Per-replica results for the rounds executed so far."""
         winners = self.counts.argmax(axis=1)
+        at_consensus = self.counts.max(axis=1) == self.num_vertices
         out: list[RunResult] = []
         for r in range(self.num_replicas):
             converged = bool(self.frozen[r])
@@ -166,7 +224,9 @@ class BatchPopulationEngine:
                     rounds=int(self.consensus_rounds[r])
                     if converged
                     else self.round_index,
-                    winner=int(winners[r]) if converged else None,
+                    winner=int(winners[r])
+                    if converged and at_consensus[r]
+                    else None,
                     final_counts=self.counts[r].copy(),
                 )
             )
@@ -192,9 +252,39 @@ class BatchPopulationEngine:
         return np.count_nonzero(self.counts, axis=1)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        adv = (
+            f", adversary={self.adversary!r}"
+            if self.adversary is not None
+            else ""
+        )
         return (
             f"BatchPopulationEngine({self.dynamics.name}, "
             f"R={self.num_replicas}, n={self.num_vertices}, "
             f"k={self.num_opinions}, round={self.round_index}, "
-            f"frozen={int(self.frozen.sum())})"
+            f"frozen={int(self.frozen.sum())}{adv})"
         )
+
+
+def _run_spec(spec) -> list[RunResult]:
+    """Registry adapter: all R replicas in one vectorised engine."""
+    engine = BatchPopulationEngine(
+        spec.resolved_dynamics(),
+        spec.initial_counts(),
+        num_replicas=spec.replicas,
+        seed=spec.seed,
+        adversary=spec.resolved_adversary(),
+        target=spec.target,
+    )
+    return engine.run_until_consensus(spec.round_budget())
+
+
+register_engine(
+    "batch",
+    _run_spec,
+    description=(
+        "R replicas advanced in lockstep as one (R, k) count matrix"
+    ),
+    supports_target=True,
+    supports_observers=False,
+    supports_adversary=True,
+)

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.adversary.base import Adversary, apply_corruption
 from repro.core.base import Dynamics
+from repro.engine.registry import register_engine
+from repro.engine.runner import RunResult, replicate, run_spec_replica
 from repro.seeding import RandomState, as_generator
 from repro.state import (
     consensus_opinion,
@@ -39,6 +42,10 @@ class PopulationEngine:
         Initial configuration as a per-opinion count vector.
     seed:
         Anything accepted by :func:`repro.seeding.as_generator`.
+    adversary:
+        Optional F-bounded :class:`~repro.adversary.base.Adversary`
+        applied after every dynamics round ([GL18] model); the
+        corruption contract is enforced each round.
 
     Attributes
     ----------
@@ -53,8 +60,10 @@ class PopulationEngine:
         dynamics: Dynamics,
         counts: np.ndarray,
         seed: RandomState = None,
+        adversary: Adversary | None = None,
     ) -> None:
         self.dynamics = dynamics
+        self.adversary = adversary
         self.counts = validate_counts(counts).copy()
         self.num_vertices = int(self.counts.sum())
         self.num_opinions = int(self.counts.size)
@@ -62,8 +71,15 @@ class PopulationEngine:
         self.round_index = 0
 
     def step(self) -> np.ndarray:
-        """Execute one synchronous round; returns the new count vector."""
-        self.counts = self.dynamics.population_step(self.counts, self.rng)
+        """Execute one synchronous round; returns the new count vector.
+
+        With an adversary, a round is: one dynamics round, then one
+        checked corruption of at most ``F`` vertices.
+        """
+        counts = self.dynamics.population_step(self.counts, self.rng)
+        if self.adversary is not None:
+            counts = apply_corruption(counts, self.adversary, self.rng)
+        self.counts = counts
         self.round_index += 1
         return self.counts
 
@@ -100,7 +116,44 @@ class PopulationEngine:
         return consensus_opinion(self.counts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        adv = (
+            f", adversary={self.adversary!r}"
+            if self.adversary is not None
+            else ""
+        )
         return (
             f"PopulationEngine({self.dynamics.name}, n={self.num_vertices}, "
-            f"k={self.num_opinions}, round={self.round_index})"
+            f"k={self.num_opinions}, round={self.round_index}{adv})"
         )
+
+
+def _run_spec(spec) -> list[RunResult]:
+    """Registry adapter: R sequential population runs over spawned streams.
+
+    Replica ``i`` always receives child stream ``i`` of the spec seed,
+    so results are order-independent and bitwise-reproducible.
+    """
+    dynamics = spec.resolved_dynamics()
+    counts = spec.initial_counts()
+    budget = spec.round_budget()
+    adversary = spec.resolved_adversary()
+
+    def factory(rng: np.random.Generator) -> RunResult:
+        engine = PopulationEngine(
+            dynamics, counts, seed=rng, adversary=adversary
+        )
+        return run_spec_replica(engine, spec, budget)
+
+    return replicate(factory, num_runs=spec.replicas, seed=spec.seed)
+
+
+register_engine(
+    "population",
+    _run_spec,
+    description=(
+        "exact count-vector chain on the complete graph with self-loops"
+    ),
+    supports_target=True,
+    supports_observers=True,
+    supports_adversary=True,
+)

@@ -19,7 +19,12 @@ from repro.seeding import RandomState, spawn_generators
 from repro.state import consensus_opinion, is_consensus
 from repro.errors import ConfigurationError, ConsensusNotReached
 
-__all__ = ["RunResult", "replicate", "run_until_consensus"]
+__all__ = [
+    "RunResult",
+    "replicate",
+    "run_spec_replica",
+    "run_until_consensus",
+]
 
 
 @dataclass
@@ -126,6 +131,33 @@ def run_until_consensus(
         winner=None,
         final_counts=np.asarray(counts).copy(),
     )
+
+
+def run_spec_replica(engine, spec, max_rounds: int) -> RunResult:
+    """Run one replica engine under a spec's stopping rule.
+
+    Shared by the step-based engines' registry adapters: builds this
+    replica's observers from ``spec.observer_factory`` (observers are
+    stateful, so each replica needs fresh ones), applies the spec's
+    ``target``/``on_budget``, and exposes the observers on the result —
+    ``result.metrics["observers"]`` is the caller's only handle on a
+    replica's recorded series.
+    """
+    observers = (
+        tuple(spec.observer_factory())
+        if spec.observer_factory is not None
+        else ()
+    )
+    result = run_until_consensus(
+        engine,
+        max_rounds=max_rounds,
+        observers=observers,
+        target=spec.target,
+        on_budget=spec.on_budget,
+    )
+    if observers:
+        result.metrics["observers"] = observers
+    return result
 
 
 def replicate(

@@ -11,6 +11,14 @@ The reproduction sweeps the adversary budget ``F`` as multiples of
 probability of consensus within a generous window plus the median
 consensus time.  Shape checks: small budgets barely slow the dynamics;
 budgets far above the [GL18] scale stall it.
+
+Each tolerance point is one declarative
+:class:`~repro.simulation.spec.SimulationSpec` executed on the batch
+engine: all ``num_runs`` replicas advance as one ``(R, k)`` count
+matrix with the adversary's vectorised ``corrupt_batch`` applied every
+round, so the sweep gets the batched-replica speedup instead of
+``num_runs`` sequential adversarial chains
+(``benchmarks/bench_adversary.py`` tracks the factor).
 """
 
 from __future__ import annotations
@@ -19,13 +27,11 @@ import math
 
 import numpy as np
 
-from repro.adversary.base import AdversarialPopulationEngine
 from repro.adversary.strategies import SupportRunnerUp
+from repro.adversary.tolerance import near_consensus_target
 from repro.analysis.comparison import ComparisonRecord
-from repro.configs.initial import balanced
-from repro.core.registry import make_dynamics
-from repro.seeding import spawn_generators
 from repro.experiments.base import ExperimentResult, require_preset
+from repro.simulation import SimulationSpec
 
 EXPERIMENT_ID = "adv"
 TITLE = "Adversarial 3-Majority: tolerance of F corruptions per round"
@@ -55,41 +61,64 @@ PRESETS = {
 }
 
 
+def tolerance_spec(
+    n: int,
+    k: int,
+    budget: int,
+    num_runs: int,
+    window: int,
+    seed,
+) -> SimulationSpec:
+    """One tolerance-sweep point as a batched adversarial spec.
+
+    An F >= 1 adversary can trivially keep one stray vertex alive
+    forever, so "consensus despite the adversary" means the leader
+    reaches :func:`~repro.adversary.tolerance.near_consensus_threshold`
+    (all but 4F vertices, floored at a strict majority; strict
+    consensus when F = 0); the threshold is the spec's per-row
+    ``target``.
+    """
+    return SimulationSpec(
+        dynamics="3-majority",
+        n=n,
+        k=k,
+        engine="batch",
+        replicas=num_runs,
+        seed=seed,
+        max_rounds=window,
+        adversary=SupportRunnerUp(budget) if budget else None,
+        # F = 0 is exactly strict consensus — leave target unset so the
+        # batch engine keeps its vectorised row-max stopping check.
+        target=near_consensus_target(n, budget) if budget else None,
+    )
+
+
 def run(preset: str = "quick", seed: int = 0) -> ExperimentResult:
     params = require_preset(PRESETS, preset)
     n, k = params["n"], params["k"]
     log_n = math.log(n)
-    dynamics = make_dynamics("3-majority")
     base_budget = math.sqrt(n) / k**1.5
     window = int(params["window_factor"] * k * log_n) + 100
     rows: list[list] = []
     success_by_mult: list[tuple[float, float, float]] = []
     for mult_idx, mult in enumerate(params["budget_multipliers"]):
         budget = int(round(mult * base_budget))
-        # An F >= 1 adversary can trivially keep one stray vertex alive
-        # forever, so "consensus despite the adversary" means the leader
-        # holds all but O(F) vertices (strict consensus when F = 0).
-        threshold = n if budget == 0 else n - 4 * budget
-        times: list[float] = []
-        successes = 0
-        for rng in spawn_generators((seed, mult_idx), params["num_runs"]):
-            engine = AdversarialPopulationEngine(
-                dynamics,
-                balanced(n, k),
-                SupportRunnerUp(budget),
-                seed=rng,
-            )
-            converged = False
-            for _ in range(window):
-                engine.step()
-                if int(engine.counts.max()) >= threshold:
-                    converged = True
-                    break
-            if converged:
-                successes += 1
-                times.append(float(engine.round_index))
-        fraction = successes / params["num_runs"]
-        median_time = float(np.median(times)) if times else float("nan")
+        spec = tolerance_spec(
+            n,
+            k,
+            budget,
+            params["num_runs"],
+            window,
+            seed=(seed, mult_idx),
+        )
+        results = spec.run()
+        fraction = results.converged_fraction
+        times = results.consensus_times
+        median_time = (
+            float(np.nanmedian(times))
+            if results.num_converged
+            else float("nan")
+        )
         success_by_mult.append((mult, fraction, median_time))
         rows.append(
             [
@@ -117,7 +146,8 @@ def run(preset: str = "quick", seed: int = 0) -> ExperimentResult:
         notes=(
             "Adversary = SupportRunnerUp (moves mass from the leader to "
             "the strongest challenger after every round); window = "
-            "O(k log n)."
+            "O(k log n); all runs per point batched on "
+            "BatchPopulationEngine."
         ),
     )
 

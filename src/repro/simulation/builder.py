@@ -28,6 +28,7 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from repro.adversary.base import Adversary
 from repro.core.base import Dynamics
 from repro.graphs.base import Graph
 from repro.seeding import RandomState
@@ -61,6 +62,8 @@ class Simulation:
             "counts": spec.counts,
             "engine": spec.engine,
             "graph": spec.graph,
+            "adversary": spec.adversary,
+            "adversary_budget": spec.adversary_budget,
             "replicas": spec.replicas,
             "seed": spec.seed,
             "max_rounds": spec.max_rounds,
@@ -129,6 +132,25 @@ class Simulation:
         """Use the agent engine, optionally on a specific graph."""
         self._settings["graph"] = graph
         return self.engine("agent")
+
+    # ------------------------------------------------------------------
+    # Adversarial model
+    # ------------------------------------------------------------------
+    def adversary(
+        self,
+        strategy: "str | Adversary | None",
+        budget: int | None = None,
+    ) -> "Simulation":
+        """Attack the run with an F-bounded adversary ([GL18] model).
+
+        ``strategy`` is a registered name (``"random"``,
+        ``"runner-up"``, ``"revive-weakest"``) with ``budget`` the
+        per-round ``F``, or an :class:`~repro.adversary.base.Adversary`
+        instance (budget derived).  Pass ``None`` to clear.
+        """
+        self._settings["adversary"] = strategy
+        self._settings["adversary_budget"] = budget
+        return self
 
     # ------------------------------------------------------------------
     # Replication, seeding, stopping

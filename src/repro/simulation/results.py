@@ -127,8 +127,10 @@ class ResultSet(Sequence):
         """How often each opinion won, as a length-``k`` int array.
 
         ``num_opinions`` defaults to the spec's ``k`` (or the maximum
-        winner label + 1).  Censored runs have no winner and are simply
-        absent from the histogram (its sum is :attr:`num_converged`).
+        winner label + 1).  Runs without a winner — censored, or
+        stopped by a ``target`` predicate before strict consensus — are
+        simply absent from the histogram, so its sum can be smaller
+        than :attr:`num_converged`.
         """
         winners = [
             r.winner for r in self._results if r.winner is not None
@@ -187,9 +189,14 @@ class ResultSet(Sequence):
                 f"q10 {q10:.0f}, q90 {q90:.0f}"
             )
             histogram = self.winner_histogram()
-            top = int(histogram.argmax())
-            lines.append(
-                f"winners: opinion {top} won {int(histogram[top])}/"
-                f"{self.num_converged}"
-            )
+            decided = int(histogram.sum())
+            # Target-stopped runs may converge without a strict-
+            # consensus winner; reporting over num_converged would then
+            # misattribute them to opinion 0.
+            if decided:
+                top = int(histogram.argmax())
+                lines.append(
+                    f"winners: opinion {top} won "
+                    f"{int(histogram[top])}/{decided}"
+                )
         return "\n".join(lines)

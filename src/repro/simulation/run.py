@@ -1,10 +1,16 @@
 """Execute a :class:`~repro.simulation.spec.SimulationSpec`.
 
 One dispatcher replaces the hand-wired plumbing that every entry point
-used to repeat: it resolves the dynamics and initial configuration,
-derives per-replica seed streams, picks the engine, applies the stopping
-rule, and wraps everything into a
-:class:`~repro.simulation.results.ResultSet`.
+used to repeat — and, since the engine-registry refactor, it contains no
+per-engine branching at all: the spec's ``engine`` string selects an
+:class:`~repro.engine.registry.EngineInfo` whose ``run`` callable
+resolves the dynamics/initial configuration/adversary, derives seed
+streams, applies the stopping rule and returns the per-replica results.
+This dispatcher only wraps them into a
+:class:`~repro.simulation.results.ResultSet` and applies the uniform
+``on_budget`` policy.  Registering a new engine (see
+:func:`repro.engine.registry.register_engine`) is the only step needed
+to make it runnable from specs, the fluent builder and the CLI.
 
 Engine semantics
 ----------------
@@ -23,122 +29,35 @@ Engine semantics
     :class:`~repro.engine.batch.BatchPopulationEngine` — the same chain
     per replica (equal in distribution to ``population``, not bitwise),
     one vectorised hot loop overall.
+
+Every engine accepts a spec-level adversary (applied after each round,
+contract-checked); ``population``/``agent``/``batch`` accept a custom
+``target`` stopping predicate.
 """
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
-
-from repro.engine.agent import AgentEngine
-from repro.engine.asynchronous import AsyncPopulationEngine
-from repro.engine.batch import BatchPopulationEngine
-from repro.engine.population import PopulationEngine
-from repro.engine.runner import RunResult, replicate, run_until_consensus
+from repro.engine.registry import get_engine
 from repro.errors import ConsensusNotReached
-from repro.graphs.complete import CompleteGraph
 from repro.simulation.results import ResultSet
 from repro.simulation.spec import SimulationSpec
-from repro.state import counts_to_agents
 
 __all__ = ["execute"]
 
 
 def execute(spec: SimulationSpec) -> ResultSet:
     """Run every replica of ``spec`` and aggregate the results."""
-    dynamics = spec.resolved_dynamics()
-    counts = spec.initial_counts()
-    budget = spec.round_budget()
-
-    if spec.engine == "batch":
-        engine = BatchPopulationEngine(
-            dynamics, counts, num_replicas=spec.replicas, seed=spec.seed
-        )
-        results = engine.run_until_consensus(budget)
-        censored = [r for r in results if not r.converged]
-        if censored and spec.on_budget == "raise":
+    results = list(get_engine(spec.engine).run(spec))
+    if spec.on_budget == "raise":
+        # Engines whose run loop can abort early (population/agent)
+        # raise from inside; this uniform check covers the rest, so any
+        # registered engine honours the policy without custom code.
+        censored = sum(1 for r in results if not r.converged)
+        if censored:
+            budget = spec.round_budget()
             raise ConsensusNotReached(
                 budget,
-                f"{len(censored)} of {spec.replicas} replicas did not "
+                f"{censored} of {spec.replicas} replicas did not "
                 f"reach consensus within {budget} rounds",
             )
-        return ResultSet(results, spec)
-
-    if spec.engine == "population":
-
-        def factory(rng: np.random.Generator) -> RunResult:
-            engine = PopulationEngine(dynamics, counts, seed=rng)
-            observers = _fresh_observers(spec)
-            result = run_until_consensus(
-                engine,
-                max_rounds=budget,
-                observers=observers,
-                target=spec.target,
-                on_budget=spec.on_budget,
-            )
-            return _attach_observers(result, observers)
-
-    elif spec.engine == "agent":
-        graph = spec.graph or CompleteGraph(spec.n)
-
-        def factory(rng: np.random.Generator) -> RunResult:
-            opinions = counts_to_agents(counts, rng=rng, shuffle=True)
-            engine = AgentEngine(
-                dynamics, graph, opinions, num_opinions=spec.k, seed=rng
-            )
-            observers = _fresh_observers(spec)
-            result = run_until_consensus(
-                engine,
-                max_rounds=budget,
-                observers=observers,
-                target=spec.target,
-                on_budget=spec.on_budget,
-            )
-            return _attach_observers(result, observers)
-
-    else:  # async
-
-        def factory(rng: np.random.Generator) -> RunResult:
-            engine = AsyncPopulationEngine(dynamics, counts, seed=rng)
-            max_ticks = budget * spec.n
-            tick = engine.run_until_consensus(max_ticks)
-            converged = tick is not None
-            if not converged and spec.on_budget == "raise":
-                raise ConsensusNotReached(
-                    budget,
-                    f"no consensus within {max_ticks} ticks "
-                    f"({budget} synchronous-equivalent rounds)",
-                )
-            ticks = tick if converged else engine.tick_index
-            return RunResult(
-                converged=converged,
-                rounds=int(math.ceil(ticks / spec.n)),
-                winner=engine.winner() if converged else None,
-                final_counts=engine.counts.copy(),
-                metrics={"ticks": int(ticks)},
-            )
-
-    return ResultSet(
-        replicate(factory, num_runs=spec.replicas, seed=spec.seed), spec
-    )
-
-
-def _fresh_observers(spec: SimulationSpec):
-    """Build a new observer set for one replica (observers are stateful)."""
-    if spec.observer_factory is None:
-        return ()
-    observers = spec.observer_factory()
-    return tuple(observers)
-
-
-def _attach_observers(result: RunResult, observers) -> RunResult:
-    """Expose each replica's observers on its result.
-
-    The spec's ``observer_factory`` makes fresh observers per replica,
-    so the only handle the caller has on a replica's recorded series is
-    its result: ``result.metrics["observers"]``.
-    """
-    if observers:
-        result.metrics["observers"] = observers
-    return result
+    return ResultSet(results, spec)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.adversary import Adversary, make_adversary
 from repro.configs import (
     balanced,
     biased,
@@ -33,6 +34,7 @@ from repro.configs import (
 )
 from repro.core.base import Dynamics
 from repro.core.registry import make_dynamics
+from repro.engine.registry import available_engines, get_engine
 from repro.errors import ConfigurationError
 from repro.graphs.base import Graph
 from repro.seeding import RandomState
@@ -45,8 +47,10 @@ __all__ = [
     "default_round_budget",
 ]
 
-#: Engine kinds a spec may request.
-ENGINE_KINDS = ("population", "agent", "async", "batch")
+#: Engine kinds registered at import time (kept for backwards
+#: compatibility; validation consults the live registry, so engines
+#: registered later are accepted too).
+ENGINE_KINDS = tuple(available_engines())
 
 #: Initial-configuration families, by name, as ``f(n, k, **params)``.
 INITIAL_FAMILIES: dict[str, Callable] = {
@@ -98,11 +102,22 @@ class SimulationSpec:
     counts:
         Explicit initial count vector; sets ``initial="custom"``.
     engine:
+        Any engine registered in :mod:`repro.engine.registry`:
         ``"population"`` (exact count chain), ``"agent"`` (per-vertex on
         a graph), ``"async"`` (one vertex per tick) or ``"batch"``
         (vectorised multi-replica count matrix).
     graph:
         Substrate for the agent engine; defaults to the complete graph.
+    adversary:
+        Optional F-bounded adversary ([GL18] model, paper Section 2.5)
+        applied after every round: a strategy name
+        (:func:`repro.adversary.available_adversaries`) with
+        ``adversary_budget``, or an
+        :class:`~repro.adversary.base.Adversary` instance.
+    adversary_budget:
+        Per-round corruption budget ``F``.  Required with a string
+        ``adversary``; with an instance it is derived (and must match
+        when given).
     replicas:
         Number of independent runs.
     seed:
@@ -131,6 +146,8 @@ class SimulationSpec:
     counts: np.ndarray | None = None
     engine: str = "population"
     graph: Graph | None = None
+    adversary: str | Adversary | None = None
+    adversary_budget: int | None = None
     replicas: int = 1
     seed: RandomState = 0
     max_rounds: int | None = None
@@ -140,11 +157,7 @@ class SimulationSpec:
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__
-        if self.engine not in ENGINE_KINDS:
-            raise ConfigurationError(
-                f"engine must be one of {ENGINE_KINDS}, got "
-                f"{self.engine!r}"
-            )
+        engine_info = get_engine(self.engine)
         if self.replicas < 1:
             raise ConfigurationError(
                 f"replicas must be at least 1, got {self.replicas}"
@@ -196,21 +209,27 @@ class SimulationSpec:
             raise ConfigurationError(
                 f"max_rounds must be non-negative, got {self.max_rounds}"
             )
-        if self.graph is not None and self.engine != "agent":
+        # Capability checks come from the engine registry, so a new
+        # engine declares what it supports instead of being hard-coded
+        # here.
+        if self.graph is not None and not engine_info.supports_graph:
             raise ConfigurationError(
-                f"a graph only makes sense with engine='agent', got "
-                f"engine={self.engine!r}"
+                "a graph only makes sense with a graph-capable engine "
+                f"(e.g. 'agent'), got engine={self.engine!r}"
             )
-        if self.engine in ("batch", "async"):
-            if self.target is not None:
-                raise ConfigurationError(
-                    f"engine={self.engine!r} does not support a custom "
-                    "target predicate"
-                )
-            if self.observer_factory is not None:
-                raise ConfigurationError(
-                    f"engine={self.engine!r} does not support observers"
-                )
+        if self.target is not None and not engine_info.supports_target:
+            raise ConfigurationError(
+                f"engine={self.engine!r} does not support a custom "
+                "target predicate"
+            )
+        if (
+            self.observer_factory is not None
+            and not engine_info.supports_observers
+        ):
+            raise ConfigurationError(
+                f"engine={self.engine!r} does not support observers"
+            )
+        self._validate_adversary(engine_info, set_)
         if (
             self.graph is not None
             and self.graph.num_vertices != self.n
@@ -224,12 +243,57 @@ class SimulationSpec:
         make_dynamics(self.dynamics)
         self.initial_counts()
 
+    def _validate_adversary(self, engine_info, set_) -> None:
+        """Normalise and validate the adversary dimension.
+
+        After this, ``adversary_budget`` always equals the resolved
+        adversary's ``F`` (or ``None`` without an adversary), so the
+        budget is visible in ``repr`` and usable as a sweep cache key
+        whether the adversary was given by name or as an instance.
+        """
+        if self.adversary is None:
+            if self.adversary_budget is not None:
+                raise ConfigurationError(
+                    "adversary_budget was given without an adversary"
+                )
+            return
+        if not engine_info.supports_adversary:
+            raise ConfigurationError(
+                f"engine={self.engine!r} does not support an adversary"
+            )
+        if isinstance(self.adversary, Adversary):
+            if (
+                self.adversary_budget is not None
+                and int(self.adversary_budget) != self.adversary.budget
+            ):
+                raise ConfigurationError(
+                    f"adversary_budget={self.adversary_budget} conflicts "
+                    f"with the instance's budget "
+                    f"{self.adversary.budget}"
+                )
+            set_(self, "adversary_budget", self.adversary.budget)
+            return
+        if self.adversary_budget is None:
+            raise ConfigurationError(
+                f"adversary={self.adversary!r} requires "
+                "adversary_budget (the per-round F)"
+            )
+        set_(self, "adversary_budget", int(self.adversary_budget))
+        # Fail fast on unknown strategy names / bad budgets.
+        make_adversary(self.adversary, self.adversary_budget)
+
     # ------------------------------------------------------------------
     # Resolution helpers
     # ------------------------------------------------------------------
     def resolved_dynamics(self) -> Dynamics:
         """The dynamics instance this spec runs."""
         return make_dynamics(self.dynamics)
+
+    def resolved_adversary(self) -> Adversary | None:
+        """The adversary instance this spec runs, or ``None``."""
+        if self.adversary is None:
+            return None
+        return make_adversary(self.adversary, self.adversary_budget)
 
     def initial_counts(self) -> np.ndarray:
         """Build the initial count vector (fresh, writable copy).
@@ -301,8 +365,18 @@ class SimulationSpec:
             f", {key}={value}"
             for key, value in sorted(self.initial_params.items())
         )
+        adversarial = ""
+        if self.adversary is not None:
+            strategy = (
+                self.adversary
+                if isinstance(self.adversary, str)
+                else type(self.adversary).__name__
+            )
+            adversarial = (
+                f", adversary={strategy}(F={self.adversary_budget})"
+            )
         return (
             f"{name} on n={self.n:,}, k={self.k} "
             f"({self.initial}{extras} start), engine={self.engine}, "
-            f"replicas={self.replicas}, seed={self.seed}"
+            f"replicas={self.replicas}, seed={self.seed}{adversarial}"
         )

@@ -30,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.adversary import near_consensus_target
 from repro.engine import PopulationEngine, run_until_consensus
 from repro.errors import ConfigurationError
 from repro.seeding import RandomState, spawn_generators
@@ -51,10 +52,15 @@ def spec_from_params(params: Mapping) -> SimulationSpec:
 
     Recognised keys: ``dynamics`` (default ``"3-majority"``), ``n``,
     ``k``, ``initial`` (family name, default ``"balanced"``),
-    ``initial_params`` (dict of family parameters) and ``max_rounds``.
-    All of them are JSON-serialisable, so a point's spec is derivable
-    from its cache entry.  Validation happens here, eagerly, rather than
-    deep inside a half-finished sweep.
+    ``initial_params`` (dict of family parameters), ``max_rounds``,
+    ``adversary`` (strategy name) and ``adversary_budget`` (per-round
+    F — a natural grid axis for tolerance sweeps).  All of them are
+    JSON-serialisable, so a point's spec is derivable from its cache
+    entry and — crucially for the point cache — adversarial points hash
+    to different keys than plain points, and different budgets to
+    different keys, because the full parameter dict is the cache key.
+    Validation happens here, eagerly, rather than deep inside a
+    half-finished sweep.
     """
     spec = SimulationSpec(
         dynamics=params.get("dynamics", "3-majority"),
@@ -64,6 +70,12 @@ def spec_from_params(params: Mapping) -> SimulationSpec:
         initial_params=params.get("initial_params", {}),
         max_rounds=(
             int(params["max_rounds"]) if "max_rounds" in params else None
+        ),
+        adversary=params.get("adversary"),
+        adversary_budget=(
+            int(params["adversary_budget"])
+            if "adversary_budget" in params
+            else None
         ),
     )
     return spec
@@ -78,12 +90,29 @@ def consensus_time_point(
     :func:`spec_from_params` and measures a single population run on the
     caller's stream.  Returns NaN when the round budget runs out, so
     censored points are visible rather than silently dropped.
+
+    Adversarial points (``adversary`` + ``adversary_budget`` in
+    ``params``) run the corrupted chain; since an F >= 1 adversary can
+    trivially keep a stray vertex alive forever, such points measure the
+    first round the leader reaches the
+    :func:`~repro.adversary.tolerance.near_consensus_threshold`
+    (all but 4F vertices, floored at a strict majority) instead of
+    strict consensus.
     """
     spec = spec_from_params(params)
+    adversary = spec.resolved_adversary()
+    target = None
+    if adversary is not None and adversary.budget > 0:
+        target = near_consensus_target(spec.n, adversary.budget)
     engine = PopulationEngine(
-        spec.resolved_dynamics(), spec.initial_counts(), seed=rng
+        spec.resolved_dynamics(),
+        spec.initial_counts(),
+        seed=rng,
+        adversary=adversary,
     )
-    result = run_until_consensus(engine, max_rounds=spec.round_budget())
+    result = run_until_consensus(
+        engine, max_rounds=spec.round_budget(), target=target
+    )
     return float(result.rounds) if result.converged else float("nan")
 
 

@@ -10,11 +10,23 @@ from repro.adversary import (
     RandomCorruption,
     ReviveWeakest,
     SupportRunnerUp,
+    available_adversaries,
+    enforce_corruption_contract,
+    make_adversary,
+    near_consensus_target,
+    near_consensus_threshold,
 )
 from repro.adversary.base import Adversary
 from repro.configs import balanced, two_block
 from repro.core import ThreeMajority
-from repro.errors import ConfigurationError
+from repro.engine import (
+    AgentEngine,
+    AsyncPopulationEngine,
+    PopulationEngine,
+)
+from repro.errors import ConfigurationError, StateError
+from repro.graphs.complete import CompleteGraph
+from repro.state import counts_to_agents
 
 
 class TestStrategies:
@@ -87,6 +99,232 @@ class TestStrategies:
         new = RandomCorruption(400).corrupt(counts, rng)
         # Victims are re-assigned uniformly, so other opinions appear.
         assert (new[1:] > 0).any()
+
+
+class TestAdversaryRegistry:
+    def test_known_names_resolve(self):
+        assert isinstance(
+            make_adversary("random", 3), RandomCorruption
+        )
+        assert isinstance(
+            make_adversary("runner-up", 3), SupportRunnerUp
+        )
+        assert isinstance(
+            make_adversary("support-runner-up", 3), SupportRunnerUp
+        )
+        assert isinstance(
+            make_adversary("revive-weakest", 3), ReviveWeakest
+        )
+
+    def test_instance_passthrough(self):
+        adversary = SupportRunnerUp(5)
+        assert make_adversary(adversary) is adversary
+        assert make_adversary(adversary, 5) is adversary
+        with pytest.raises(ConfigurationError, match="conflicts"):
+            make_adversary(adversary, 6)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ConfigurationError, match="revive-weakest"):
+            make_adversary("gremlin", 1)
+
+    def test_name_requires_budget(self):
+        with pytest.raises(ConfigurationError, match="budget"):
+            make_adversary("random")
+
+    def test_available_names(self):
+        names = available_adversaries()
+        assert {"random", "runner-up", "revive-weakest"} <= set(names)
+
+
+class TestNearConsensusConvention:
+    """The shared n - 4F (majority-floored) agreement threshold."""
+
+    def test_zero_budget_is_strict_consensus(self):
+        assert near_consensus_threshold(1000, 0) == 1000
+
+    def test_small_budget_is_n_minus_4f(self):
+        assert near_consensus_threshold(1000, 10) == 960
+
+    def test_large_budget_floored_at_strict_majority(self):
+        # n - 4F = 200 would be satisfied by a balanced 2-way tie,
+        # reporting the strongest adversaries as instant successes.
+        assert near_consensus_threshold(1000, 200) == 501
+        assert near_consensus_threshold(1000, 10_000) == 501
+
+    def test_target_predicate_matches_threshold(self):
+        target = near_consensus_target(1000, 10)
+        assert target(np.asarray([960, 40]))
+        assert not target(np.asarray([959, 41]))
+
+    def test_target_batch_evaluation_matches_per_row(self):
+        target = near_consensus_target(100, 5)
+        rows = np.asarray([[80, 20], [79, 21], [100, 0], [50, 50]])
+        batched = target.batch(rows)
+        assert batched.tolist() == [target(row) for row in rows]
+
+    def test_targets_with_equal_thresholds_compare_equal(self):
+        assert near_consensus_target(1000, 10) == near_consensus_target(
+            1000, 10
+        )
+        assert near_consensus_target(1000, 10) != near_consensus_target(
+            1000, 11
+        )
+
+
+class TestCorruptionContract:
+    """The contract is an explicit raise — it survives ``python -O``."""
+
+    def test_valid_corruption_passes(self):
+        before = np.asarray([40, 60], dtype=np.int64)
+        after = np.asarray([43, 57], dtype=np.int64)
+        checked = enforce_corruption_contract(before, after, 3)
+        assert (checked == after).all()
+
+    def test_budget_violation_is_configuration_error(self):
+        before = np.asarray([40, 60], dtype=np.int64)
+        after = np.asarray([45, 55], dtype=np.int64)
+        with pytest.raises(ConfigurationError, match="exceeding"):
+            enforce_corruption_contract(before, after, 3)
+
+    def test_mass_violation_is_state_error(self):
+        before = np.asarray([40, 60], dtype=np.int64)
+        after = np.asarray([40, 59], dtype=np.int64)
+        with pytest.raises(StateError, match="sums"):
+            enforce_corruption_contract(before, after, 3)
+
+
+class TestUnifiedEngineAdversaries:
+    """All engines accept an adversary and enforce its contract."""
+
+    def test_population_engine_interleaves_corruption(self):
+        engine = PopulationEngine(
+            ThreeMajority(),
+            two_block(1000, 4, 0.6),
+            seed=0,
+            adversary=ReviveWeakest(3),
+        )
+        engine.step()
+        assert engine.round_index == 1
+        assert engine.counts.sum() == 1000
+
+    def test_population_engine_detects_cheater(self):
+        class Cheater(Adversary):
+            def corrupt(self, counts, rng):
+                new = counts.copy()
+                move = min(self.budget + 5, int(new[0]))
+                new[0] -= move
+                new[1] += move
+                return new
+
+        engine = PopulationEngine(
+            ThreeMajority(), [500, 500], seed=0, adversary=Cheater(2)
+        )
+        with pytest.raises(ConfigurationError, match="exceeding"):
+            engine.step()
+
+    def test_population_matches_legacy_adversarial_engine_bitwise(self):
+        """The legacy engine is now a shim over the same chain."""
+        counts = balanced(600, 4)
+        unified = PopulationEngine(
+            ThreeMajority(),
+            counts,
+            seed=11,
+            adversary=SupportRunnerUp(3),
+        )
+        legacy = AdversarialPopulationEngine(
+            ThreeMajority(), counts, SupportRunnerUp(3), seed=11
+        )
+        for _ in range(30):
+            unified.step()
+            legacy.step()
+            assert (unified.counts == legacy.counts).all()
+
+    def test_async_engine_corrupts_once_per_round(self):
+        n = 120
+        engine = AsyncPopulationEngine(
+            ThreeMajority(),
+            balanced(n, 3),
+            seed=4,
+            adversary=ReviveWeakest(2),
+        )
+        for _ in range(3 * n):
+            engine.step()
+            assert engine.counts.sum() == n
+        assert engine.tick_index == 3 * n
+
+    def test_agent_engine_lifts_count_corruption_onto_vertices(self):
+        n, k = 300, 3
+        counts = balanced(n, k)
+        rng = np.random.default_rng(0)
+        engine = AgentEngine(
+            ThreeMajority(),
+            CompleteGraph(n),
+            counts_to_agents(counts, rng=rng, shuffle=True),
+            num_opinions=k,
+            seed=rng,
+            adversary=SupportRunnerUp(5),
+        )
+        for _ in range(20):
+            before = engine.counts
+            engine.step()
+            after = engine.counts
+            assert after.sum() == n
+            assert (after >= 0).all()
+            del before
+        assert engine.round_index == 20
+
+    def test_agent_engine_detects_cheater(self):
+        class Cheater(Adversary):
+            def corrupt(self, counts, rng):
+                new = counts.copy()
+                move = min(self.budget + 5, int(new.max()))
+                leader = int(new.argmax())
+                new[leader] -= move
+                new[(leader + 1) % new.size] += move
+                return new
+
+        n = 100
+        engine = AgentEngine(
+            ThreeMajority(),
+            CompleteGraph(n),
+            counts_to_agents(balanced(n, 2)),
+            num_opinions=2,
+            seed=0,
+            adversary=Cheater(1),
+        )
+        with pytest.raises(ConfigurationError, match="exceeding"):
+            engine.step()
+
+    def test_in_place_mutating_cheater_still_detected(self):
+        """A corrupt() that mutates its input cannot dodge the contract."""
+
+        class InPlaceDrainer(Adversary):
+            def corrupt(self, counts, rng):
+                counts[counts.argmax()] -= 50  # destroys mass, in place
+                return counts
+
+        engine = PopulationEngine(
+            ThreeMajority(),
+            balanced(1000, 4),
+            seed=0,
+            adversary=InPlaceDrainer(1),
+        )
+        with pytest.raises(StateError, match="sums"):
+            engine.step()
+        # The engine's own state was never corrupted by the attempt.
+        assert engine.counts.sum() == 1000
+
+    def test_no_adversary_stream_untouched(self):
+        """adversary=None must not perturb the historical seed streams."""
+        counts = balanced(500, 4)
+        plain = PopulationEngine(ThreeMajority(), counts, seed=9)
+        explicit = PopulationEngine(
+            ThreeMajority(), counts, seed=9, adversary=None
+        )
+        for _ in range(10):
+            plain.step()
+            explicit.step()
+        assert (plain.counts == explicit.counts).all()
 
 
 class TestAdversarialEngine:

@@ -20,6 +20,23 @@ class TestList:
         assert "3-majority" in out
         assert "2-choices" in out
 
+    def test_lists_engines_with_capabilities(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for engine in ("population", "agent", "async", "batch"):
+            assert engine in out
+        assert "adversary" in out
+
+    def test_registered_engine_appears_in_listing(self, capsys):
+        from repro.engine import register_engine, unregister_engine
+
+        register_engine("toy-cli", lambda spec: [], description="toy")
+        try:
+            assert main(["engines"]) == 0
+            assert "toy-cli" in capsys.readouterr().out
+        finally:
+            unregister_engine("toy-cli")
+
 
 class TestRun:
     def test_run_prints_table_and_verdicts(self, capsys):
@@ -156,6 +173,66 @@ class TestSimulate:
         assert code == 1
         assert "4 censored" in capsys.readouterr().out
 
+    def test_adversarial_batch_aggregate(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--n",
+                "1024",
+                "--k",
+                "4",
+                "--engine",
+                "batch",
+                "--replicas",
+                "4",
+                "--adversary",
+                "runner-up",
+                "--adversary-budget",
+                "2",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adversary=runner-up(F=2)" in out
+        assert "4 runs, 4 converged" in out
+
+    def test_adversarial_trajectory_reports_threshold(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--n",
+                "1024",
+                "--k",
+                "4",
+                "--adversary",
+                "runner-up",
+                "--adversary-budget",
+                "2",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "threshold of 1016 vertices" in out
+
+    def test_adversary_without_budget_exit_2(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--n",
+                "512",
+                "--k",
+                "4",
+                "--adversary",
+                "runner-up",
+            ]
+        )
+        assert code == 2
+        assert "adversary_budget" in capsys.readouterr().out
+
     def test_bad_config_parameters_exit_2(self, capsys):
         code = main(
             [
@@ -211,6 +288,68 @@ class TestSweepCommand:
         assert code == 0
         assert "3-majority" in out
         assert "2-choices" in out
+
+    def test_adversary_budget_axis(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--n",
+                "512",
+                "--k",
+                "4",
+                "--runs",
+                "1",
+                "--adversary",
+                "runner-up",
+                "--adversary-budget",
+                "0",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 points" in out
+        assert "adversary=runner-up" in out
+        assert "| F " in out or "F " in out.splitlines()[2]
+
+    def test_adversary_budget_without_strategy_exit_2(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--n",
+                "256",
+                "--k",
+                "4",
+                "--adversary-budget",
+                "2",
+            ]
+        )
+        assert code == 2
+        assert "--adversary" in capsys.readouterr().out
+
+    def test_adversarial_cache_distinct_from_plain(self, tmp_path, capsys):
+        plain = [
+            "sweep",
+            "--n",
+            "256",
+            "--k",
+            "4",
+            "--runs",
+            "1",
+            "--cache",
+            str(tmp_path),
+        ]
+        attacked = plain + [
+            "--adversary",
+            "runner-up",
+            "--adversary-budget",
+            "2",
+        ]
+        assert main(plain) == 0
+        assert main(attacked) == 0
+        # Two distinct cache entries: plain and adversarial points
+        # never share a key.
+        assert len(list(tmp_path.glob("*.json"))) == 2
 
     def test_cache_reuse(self, tmp_path, capsys):
         argv = [

@@ -7,7 +7,7 @@ import csv
 import numpy as np
 import pytest
 
-from repro import ResultSet, Simulation, SimulationSpec
+from repro import ResultSet, Simulation, SimulationSpec, SupportRunnerUp
 from repro.configs import balanced
 from repro.core import ThreeMajority
 from repro.engine import (
@@ -68,11 +68,25 @@ class TestSpecValidation:
                 n=12, k=2, engine="agent", graph=cycle_graph(10)
             )
 
-    def test_batch_rejects_observers_and_target(self):
+    def test_async_rejects_target_and_observers(self):
         with pytest.raises(ConfigurationError, match="target"):
             SimulationSpec(
-                n=100, k=4, engine="batch", target=lambda c: True
+                n=100, k=4, engine="async", target=lambda c: True
             )
+        with pytest.raises(ConfigurationError, match="observers"):
+            SimulationSpec(
+                n=100,
+                k=4,
+                engine="async",
+                observer_factory=lambda: (),
+            )
+
+    def test_batch_accepts_target_but_rejects_observers(self):
+        """Per-row target masking lifted the old batch carve-out."""
+        spec = SimulationSpec(
+            n=100, k=4, engine="batch", target=lambda c: True
+        )
+        assert spec.target is not None
         with pytest.raises(ConfigurationError, match="observers"):
             SimulationSpec(
                 n=100,
@@ -148,6 +162,85 @@ class TestSpecValidation:
         assert "balanced" in text
 
 
+class TestSpecAdversary:
+    """The adversary is a first-class, validated spec dimension."""
+
+    def test_name_resolves_with_budget(self):
+        spec = SimulationSpec(
+            n=100, k=4, adversary="runner-up", adversary_budget=3
+        )
+        adversary = spec.resolved_adversary()
+        assert isinstance(adversary, SupportRunnerUp)
+        assert adversary.budget == 3
+
+    def test_name_requires_budget(self):
+        with pytest.raises(ConfigurationError, match="adversary_budget"):
+            SimulationSpec(n=100, k=4, adversary="runner-up")
+
+    def test_budget_requires_adversary(self):
+        with pytest.raises(ConfigurationError, match="without an adversary"):
+            SimulationSpec(n=100, k=4, adversary_budget=3)
+
+    def test_unknown_strategy_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError, match="unknown adversary"):
+            SimulationSpec(
+                n=100, k=4, adversary="gremlin", adversary_budget=1
+            )
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            SimulationSpec(
+                n=100, k=4, adversary="random", adversary_budget=-2
+            )
+
+    def test_instance_derives_budget(self):
+        spec = SimulationSpec(
+            n=100, k=4, adversary=SupportRunnerUp(7)
+        )
+        assert spec.adversary_budget == 7
+        assert spec.resolved_adversary() is spec.adversary
+
+    def test_instance_budget_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="conflicts"):
+            SimulationSpec(
+                n=100,
+                k=4,
+                adversary=SupportRunnerUp(7),
+                adversary_budget=9,
+            )
+
+    def test_adversary_in_repr_and_describe(self):
+        spec = SimulationSpec(
+            n=100, k=4, adversary="runner-up", adversary_budget=3
+        )
+        assert "adversary='runner-up'" in repr(spec)
+        assert "adversary_budget=3" in repr(spec)
+        assert "adversary=runner-up(F=3)" in spec.describe()
+
+    def test_no_adversary_resolves_to_none(self):
+        assert SimulationSpec(n=100, k=4).resolved_adversary() is None
+
+    @pytest.mark.parametrize(
+        "engine", ["population", "agent", "async", "batch"]
+    )
+    def test_every_engine_runs_adversarial_specs(self, engine):
+        results = SimulationSpec(
+            dynamics="3-majority",
+            n=300,
+            k=3,
+            engine=engine,
+            replicas=2,
+            seed=6,
+            adversary="random",
+            adversary_budget=2,
+            max_rounds=20_000,
+        ).run()
+        assert len(results) == 2
+        assert all(r.converged for r in results)
+        for r in results:
+            assert r.final_counts.sum() == 300
+
+
 class TestBuilder:
     def test_builds_equivalent_spec(self):
         spec = (
@@ -185,6 +278,30 @@ class TestBuilder:
         )
         rebuilt = Simulation.from_spec(original).build()
         assert rebuilt == original
+
+    def test_adversary_method(self):
+        spec = (
+            Simulation.of("3-majority")
+            .n(100)
+            .k(4)
+            .adversary("revive-weakest", 2)
+            .build()
+        )
+        assert spec.adversary == "revive-weakest"
+        assert spec.adversary_budget == 2
+
+    def test_from_spec_roundtrip_with_adversary(self):
+        original = SimulationSpec(
+            n=100,
+            k=4,
+            engine="batch",
+            replicas=8,
+            seed=5,
+            adversary=SupportRunnerUp(4),
+        )
+        rebuilt = Simulation.from_spec(original).build()
+        assert rebuilt == original
+        assert rebuilt.adversary_budget == 4
 
     def test_on_graph_selects_agent_engine(self):
         spec = (
@@ -329,6 +446,25 @@ class TestExecuteEngines:
             assert r.converged
             assert np.count_nonzero(r.final_counts) <= 5
 
+    def test_batch_target_stops_per_row(self):
+        """Per-row target masking: batch rows freeze at the predicate."""
+        spec = SimulationSpec(
+            dynamics="3-majority",
+            n=1000,
+            k=10,
+            engine="batch",
+            replicas=6,
+            seed=2,
+            target=lambda counts: np.count_nonzero(counts) <= 5,
+        )
+        results = execute(spec)
+        assert results.num_converged == 6
+        for r in results:
+            assert np.count_nonzero(r.final_counts) <= 5
+            # Stopped before strict consensus => no winner reported.
+            if r.final_counts.max() < 1000:
+                assert r.winner is None
+
 
 class TestResultSet:
     def _mixed(self):
@@ -405,6 +541,18 @@ class TestResultSet:
         text = self._mixed().summary()
         assert "1 censored" in text
         assert "median 15" in text
+
+    def test_summary_omits_winners_for_target_stopped_runs(self):
+        """Converged-but-no-winner runs must not fabricate a winner."""
+        results = ResultSet(
+            [
+                RunResult(True, 10, None, np.asarray([45, 5])),
+                RunResult(True, 12, None, np.asarray([44, 6])),
+            ]
+        )
+        text = results.summary()
+        assert "2 converged" in text
+        assert "winners" not in text
 
 
 class TestMeasureConsensusTimesShim:

@@ -222,6 +222,86 @@ class TestSpecFromParams:
         with pytest.raises(ConfigurationError):
             spec_from_params({"n": 2, "k": 4})
 
+    def test_adversary_passthrough(self):
+        spec = spec_from_params(
+            {
+                "n": 256,
+                "k": 4,
+                "adversary": "runner-up",
+                "adversary_budget": 3,
+            }
+        )
+        assert spec.adversary == "runner-up"
+        assert spec.adversary_budget == 3
+        assert spec.resolved_adversary().budget == 3
+
+    def test_adversary_requires_budget(self):
+        with pytest.raises(ConfigurationError, match="adversary_budget"):
+            spec_from_params(
+                {"n": 256, "k": 4, "adversary": "runner-up"}
+            )
+
+
+class TestAdversarialCacheKeys:
+    """Adversarial points must never collide with plain points."""
+
+    BASE = {"dynamics": "3-majority", "n": 256, "k": 4}
+
+    def test_adversarial_key_differs_from_plain(self):
+        plain = _point_key(self.BASE)
+        attacked = _point_key(
+            {**self.BASE, "adversary": "runner-up", "adversary_budget": 2}
+        )
+        assert plain != attacked
+
+    def test_keys_differ_across_budgets(self):
+        keys = {
+            _point_key(
+                {
+                    **self.BASE,
+                    "adversary": "runner-up",
+                    "adversary_budget": budget,
+                }
+            )
+            for budget in (0, 1, 2, 64)
+        }
+        assert len(keys) == 4
+
+    def test_keys_differ_across_strategies(self):
+        keys = {
+            _point_key(
+                {
+                    **self.BASE,
+                    "adversary": name,
+                    "adversary_budget": 2,
+                }
+            )
+            for name in ("random", "runner-up", "revive-weakest")
+        }
+        assert len(keys) == 3
+
+    def test_budget_axis_cache_files_distinct(self, tmp_path):
+        spec = SweepSpec(
+            grid={"adversary_budget": [0, 2]},
+            fixed={
+                "dynamics": "3-majority",
+                "n": 256,
+                "k": 4,
+                "adversary": "runner-up",
+            },
+            num_runs=2,
+            seed=3,
+        )
+        points = run_sweep(spec, cache_dir=tmp_path)
+        assert len(points) == 2
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        by_budget = {
+            p.params["adversary_budget"]: p.values for p in points
+        }
+        assert set(by_budget) == {0, 2}
+        assert all(v > 0 for v in by_budget[0])
+        assert all(v > 0 for v in by_budget[2])
+
 
 class TestConsensusTimePoint:
     def test_measures_real_dynamics(self, rng):
@@ -248,3 +328,56 @@ class TestConsensusTimePoint:
         results = run_sweep(spec, cache_dir=tmp_path)
         medians = {p.params["k"]: p.median for p in results}
         assert medians[8] > 0 and medians[2] > 0
+
+    def test_adversarial_point_measures_threshold_time(self, rng):
+        value = consensus_time_point(
+            {
+                "dynamics": "3-majority",
+                "n": 512,
+                "k": 4,
+                "adversary": "runner-up",
+                "adversary_budget": 2,
+            },
+            rng,
+        )
+        assert value > 0
+
+    def test_adversarial_point_can_censor(self, rng):
+        """A huge stalling budget exhausts the window -> NaN.
+
+        With F = 30 on n = 512, k = 2 the adversary re-pins the top two
+        opinions together after every round (gap <= 2F is halved to
+        <= 1), so the n - 4F = 392 threshold stays out of reach.
+        """
+        value = consensus_time_point(
+            {
+                "dynamics": "3-majority",
+                "n": 512,
+                "k": 2,
+                "max_rounds": 300,
+                "adversary": "runner-up",
+                "adversary_budget": 30,
+            },
+            rng,
+        )
+        assert np.isnan(value)
+
+    def test_huge_budget_is_not_an_instant_success(self, rng):
+        """The majority floor keeps n - 4F thresholds meaningful.
+
+        With F = 200 on n = 1000, k = 2 the raw n - 4F = 200 threshold
+        would be satisfied by the balanced start itself, reporting the
+        strongest adversary as an instant (round-0) success.
+        """
+        value = consensus_time_point(
+            {
+                "dynamics": "3-majority",
+                "n": 1000,
+                "k": 2,
+                "max_rounds": 300,
+                "adversary": "runner-up",
+                "adversary_budget": 200,
+            },
+            rng,
+        )
+        assert np.isnan(value)  # a stall, not a round-0 "success"
