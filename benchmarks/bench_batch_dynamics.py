@@ -1,0 +1,139 @@
+"""Benchmark ``batchdyn`` — per-dynamics batch-stepping speedups.
+
+Tracks the vectorised ``population_step_batch`` overrides of the
+dynamics that used to fall back to the Python row loop (Median rule,
+Undecided-State, sampled h-Majority), next to the closed-form paper
+dynamics, and guards the catalogue against regressions:
+
+* ``test_batch_dynamics_speedup`` — per-round wall-clock of each
+  dynamics' vectorised batch step against the base-class row-loop
+  fallback at R = 64, n = 10^5, on a fixed pre-consensus configuration
+  (the engine freezes finished rows, so pre-consensus stepping is the
+  honest unit of work).  Asserts the headline ≥5x for Median and
+  Undecided-State; h-Majority's O(n h^2) counting work dominates both
+  paths at this size, so its (modest) speedup is reported for
+  trend-watching but not asserted.
+* ``test_no_row_loop_fallback`` — fails if any catalogued dynamics
+  loses its ``population_step_batch`` override and silently degrades to
+  the row loop.
+
+Run with:  pytest benchmarks/bench_batch_dynamics.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.configs import balanced
+from repro.core import (
+    Dynamics,
+    HMajority,
+    MedianRule,
+    ThreeMajority,
+    UndecidedStateDynamics,
+    available_dynamics,
+    make_dynamics,
+    with_undecided_slot,
+)
+
+N = 100_000
+K = 16
+REPLICAS = 64
+
+#: (label, dynamics, start vector, timed rounds, asserted floor).
+#: Round counts are tuned so each case runs long enough to time stably
+#: but stays pre-consensus at n = 10^5.
+CASES = (
+    ("median", MedianRule(), balanced(N, K), 3, 5.0),
+    (
+        "undecided",
+        UndecidedStateDynamics(),
+        with_undecided_slot(balanced(N, K)),
+        100,
+        5.0,
+    ),
+    ("5-majority", HMajority(5), balanced(N, K), 2, None),
+    ("3-majority", ThreeMajority(), balanced(N, K), 100, None),
+)
+
+
+def _per_round_seconds(dynamics, matrix, rounds, vectorised) -> float:
+    rng = np.random.default_rng(0)
+    if vectorised:
+        step = dynamics.population_step_batch
+    else:
+        # The inherited row loop, even when the subclass overrides it.
+        def step(counts, generator):
+            return Dynamics.population_step_batch(
+                dynamics, counts, generator
+            )
+
+    step(matrix, rng)  # warm-up (allocator, lazy imports)
+    started = time.perf_counter()
+    for _ in range(rounds):
+        step(matrix, rng)
+    return (time.perf_counter() - started) / rounds
+
+
+def _study() -> dict:
+    rows = []
+    speedups: dict[str, float] = {}
+    for label, dynamics, start, rounds, _floor in CASES:
+        matrix = np.tile(start, (REPLICAS, 1))
+        batch_s = _per_round_seconds(dynamics, matrix, rounds, True)
+        loop_s = _per_round_seconds(dynamics, matrix, rounds, False)
+        speedup = loop_s / batch_s
+        speedups[label] = speedup
+        rows.append(
+            [
+                label,
+                round(loop_s * 1000, 2),
+                round(batch_s * 1000, 2),
+                round(speedup, 1),
+            ]
+        )
+    return {"rows": rows, "speedups": speedups}
+
+
+def test_batch_dynamics_speedup(benchmark):
+    study = benchmark.pedantic(_study, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dynamics", "row loop ms/round", "batch ms/round", "speedup"],
+            study["rows"],
+            title=(
+                f"Vectorised population_step_batch vs row-loop fallback "
+                f"(R={REPLICAS}, n={N:,}, k={K}, pre-consensus rounds)"
+            ),
+        )
+    )
+    for label, _dynamics, _start, _rounds, floor in CASES:
+        if floor is not None:
+            assert study["speedups"][label] >= floor, (
+                f"{label}: {study['speedups'][label]:.1f}x < {floor}x"
+            )
+
+
+def test_no_row_loop_fallback(benchmark):
+    """Every catalogued dynamics must keep its vectorised override."""
+
+    def check() -> list[str]:
+        missing = []
+        for spec in list(available_dynamics()) + ["5-majority"]:
+            dynamics = make_dynamics(spec)
+            if (
+                type(dynamics).population_step_batch
+                is Dynamics.population_step_batch
+            ):
+                missing.append(spec)
+        return missing
+
+    missing = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert not missing, (
+        "these catalogued dynamics lost their vectorised "
+        f"population_step_batch override: {missing}"
+    )

@@ -58,6 +58,14 @@ def biased(n: int, k: int, margin: float) -> np.ndarray:
     opinion 0, drawn as evenly as possible from the others.  This is the
     natural input for Theorem 2.6 (plurality consensus), whose condition
     reads ``alpha_0(1) - alpha_0(j) >= C sqrt(log n / n)``.
+
+    Validity (every opinion keeps at least one supporter) caps what each
+    donor can give; when the even split exceeds some donor's slack the
+    shortfall is redistributed over donors that still have mass, so the
+    requested margin is delivered exactly whenever it is achievable.  A
+    margin no donor set can fund (``move > n - counts[0] - (k - 1)``)
+    raises :class:`~repro.errors.ConfigurationError` instead of silently
+    delivering a smaller lead.
     """
     _check_nk(n, k)
     if not 0.0 <= margin <= 1.0:
@@ -69,14 +77,35 @@ def biased(n: int, k: int, margin: float) -> np.ndarray:
     if k == 1 or move == 0:
         return counts
     donors = np.arange(1, k)
-    # Take from the largest remaining donor each time; vectorised as an
-    # even split plus remainder.
+    slack = counts[donors] - 1  # keep validity: every donor stays alive
+    available = int(slack.sum())
+    if move > available:
+        raise ConfigurationError(
+            f"margin={margin} asks to move {move} vertices onto opinion "
+            f"0 but the {k - 1} donors only have {available} to give "
+            "while keeping every opinion alive (validity); the largest "
+            f"achievable margin at n={n}, k={k} is {available / n:.4g}"
+        )
+    # Even split plus remainder, capped per donor by its slack; any
+    # shortfall is redistributed over donors that still have mass (each
+    # pass moves at least one vertex, so this terminates).
     per_donor, rem = divmod(move, k - 1)
     take = np.full(k - 1, per_donor, dtype=np.int64)
     take[:rem] += 1
-    take = np.minimum(take, counts[donors] - 1)  # keep validity: all alive
+    take = np.minimum(take, slack)
+    shortfall = move - int(take.sum())
+    while shortfall > 0:
+        open_donors = np.flatnonzero(take < slack)
+        per_donor, rem = divmod(shortfall, open_donors.size)
+        extra = np.full(open_donors.size, per_donor, dtype=np.int64)
+        extra[:rem] += 1
+        extra = np.minimum(
+            extra, slack[open_donors] - take[open_donors]
+        )
+        take[open_donors] += extra
+        shortfall -= int(extra.sum())
     counts[donors] -= take
-    counts[0] += int(take.sum())
+    counts[0] += move
     return counts
 
 

@@ -8,9 +8,14 @@
 """
 
 from repro.core.base import (
+    BATCH_ELEMENT_BUDGET,
     Dynamics,
+    batch_binomial,
     batch_multinomial_counts,
+    iter_row_chunks,
     multinomial_counts,
+    sample_opinions_from_counts,
+    sample_opinions_from_counts_batch,
 )
 from repro.core.h_majority import HMajority
 from repro.core.median import MedianRule
@@ -21,6 +26,7 @@ from repro.core.undecided import UndecidedStateDynamics, with_undecided_slot
 from repro.core.voter import Voter
 
 __all__ = [
+    "BATCH_ELEMENT_BUDGET",
     "Dynamics",
     "HMajority",
     "MedianRule",
@@ -29,9 +35,13 @@ __all__ = [
     "UndecidedStateDynamics",
     "Voter",
     "available_dynamics",
+    "batch_binomial",
     "batch_multinomial_counts",
+    "iter_row_chunks",
     "make_dynamics",
     "multinomial_counts",
+    "sample_opinions_from_counts",
+    "sample_opinions_from_counts_batch",
     "three_majority_law",
     "two_choices_law",
     "with_undecided_slot",

@@ -40,11 +40,31 @@ from repro.errors import StateError
 from repro.graphs.base import Graph
 
 __all__ = [
+    "BATCH_ELEMENT_BUDGET",
     "Dynamics",
+    "batch_binomial",
     "batch_multinomial_counts",
+    "iter_row_chunks",
     "multinomial_counts",
     "sample_opinions_from_counts",
+    "sample_opinions_from_counts_batch",
 ]
+
+#: Default per-call scratch budget (array *elements*, not bytes) for the
+#: batched samplers whose intermediates scale with more than ``R * k`` —
+#: h-Majority's ``(R, n*h)`` shared-sample matrix and the Median rule's
+#: ``(R, k, k)`` group-law tensor.  Dynamics chunk their replica rows so
+#: no *single* scratch array outgrows the budget (see
+#: :func:`iter_row_chunks`); a handful of budget-shaped temporaries
+#: coexist per chunk (sample labels, counting/jitter buffers, law
+#: copies), so size the knob for peak memory at a few times the budget
+#: in bytes.  The default of 2**22 elements (~32 MiB at int64) also
+#: keeps the per-chunk working set near cache-resident — measured on the
+#: h-Majority counting pass, per-element cost is flat up to ~4M elements
+#: and roughly quadruples by 16M, so bigger is not faster.  Override per
+#: instance via ``Dynamics.batch_element_budget`` or the batch engine's
+#: ``element_budget`` knob.
+BATCH_ELEMENT_BUDGET = 1 << 22
 
 
 def multinomial_counts(
@@ -102,6 +122,50 @@ def batch_multinomial_counts(
     ).astype(np.int64)
 
 
+def batch_binomial(
+    counts: np.ndarray,
+    probabilities: np.ndarray,
+    rng: np.random.Generator,
+    dynamics: str = "",
+) -> np.ndarray:
+    """Element-wise ``Binomial(counts, probabilities)`` with defensive clipping.
+
+    The batched counterpart of ``rng.binomial`` for transition laws built
+    from count ratios: probabilities like ``alpha_i + alpha_u`` can land a
+    few ulp outside ``[0, 1]`` (numpy's binomial rejects them outright),
+    so values within round-off of the boundary are clipped.  A probability
+    materially outside ``[0, 1]`` indicates a bug in the caller's law and
+    raises a :class:`~repro.errors.StateError` naming the dynamics.
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    bad = (p < -1e-6) | (p > 1.000001)
+    if bad.any():
+        flat = int(np.flatnonzero(bad.ravel())[0])
+        raise StateError(
+            f"binomial probability {p.ravel()[flat]!r} at flat index "
+            f"{flat} lies outside [0, 1] (probability array shape "
+            f"{p.shape}" + (f", dynamics {dynamics!r})" if dynamics else ")")
+        )
+    return rng.binomial(
+        np.asarray(counts), np.clip(p, 0.0, 1.0)
+    ).astype(np.int64)
+
+
+def iter_row_chunks(num_rows: int, elements_per_row: int, element_budget: int):
+    """Yield ``(start, stop)`` row slices under a scratch-element budget.
+
+    Shared memory guard for the batched samplers: a dynamics whose batch
+    step's *dominant* scratch array holds ``elements_per_row`` elements
+    per replica row processes at most ``element_budget //
+    elements_per_row`` rows per vectorised call (always at least one, so
+    a single huge row still runs — the guard bounds *width*, it never
+    refuses work).
+    """
+    rows_per_chunk = max(1, element_budget // max(1, elements_per_row))
+    for start in range(0, num_rows, rows_per_chunk):
+        yield start, min(start + rows_per_chunk, num_rows)
+
+
 def sample_opinions_from_counts(
     counts: np.ndarray,
     size: tuple[int, ...] | int,
@@ -118,6 +182,44 @@ def sample_opinions_from_counts(
     return rng.choice(alpha.size, size=size, p=alpha)
 
 
+def sample_opinions_from_counts_batch(
+    counts: np.ndarray,
+    num_samples: int,
+    rng: np.random.Generator,
+    dtype: np.dtype | type = np.int64,
+) -> np.ndarray:
+    """Row-wise i.i.d. opinion samples over an ``(R, k)`` count matrix.
+
+    Returns an ``(R, num_samples)`` matrix whose row ``r`` holds
+    i.i.d. draws from ``counts[r] / counts[r].sum()`` — the batched
+    counterpart of :func:`sample_opinions_from_counts`, with no per-row
+    Python loop.  Exploits exchangeability: per row, the *multiset* of
+    sampled opinions is one multinomial draw; laying it out as label
+    blocks and shuffling within the row (``rng.permuted``) recovers an
+    i.i.d. sequence, because a uniformly random arrangement of a
+    multinomially drawn multiset has exactly the i.i.d. law.
+
+    ``dtype`` sets the label dtype (default int64); the shuffle is
+    bandwidth-bound, so bulk callers that can live with int32 labels
+    (any ``k < 2**31``) save real time by narrowing it.  Keep total
+    call size near :data:`BATCH_ELEMENT_BUDGET` elements — the per-row
+    shuffle is cache-resident there and several times slower per
+    element on far larger calls.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    num_rows, k = counts.shape
+    totals = counts.sum(axis=1)
+    alpha = counts / totals[:, None]
+    per_label = batch_multinomial_counts(
+        np.full(num_rows, num_samples), alpha, rng
+    )
+    labels = np.repeat(
+        np.tile(np.arange(k, dtype=dtype), num_rows),
+        per_label.reshape(-1),
+    )
+    return rng.permuted(labels.reshape(num_rows, num_samples), axis=1)
+
+
 class Dynamics(abc.ABC):
     """Abstract synchronous consensus dynamics."""
 
@@ -127,6 +229,12 @@ class Dynamics(abc.ABC):
     #: Number of neighbour samples each vertex draws per synchronous round
     #: (3 for 3-Majority, 2 for 2-Choices, h for h-Majority, 1 for Voter).
     samples_per_round: int = 0
+
+    #: Scratch-element budget consulted by batch steps whose intermediates
+    #: outgrow ``R * k`` (h-Majority, Median); see
+    #: :data:`BATCH_ELEMENT_BUDGET` and :func:`iter_row_chunks`.  The
+    #: batch engine's ``element_budget`` knob overrides it per instance.
+    batch_element_budget: int = BATCH_ELEMENT_BUDGET
 
     # ------------------------------------------------------------------
     # Exact population-level chain (complete graph with self-loops)
@@ -149,18 +257,59 @@ class Dynamics(abc.ABC):
         ``counts`` is an ``(R, k)`` int64 matrix, one replica per row;
         the result has the same shape with every row's mass conserved.
         The base implementation loops :meth:`population_step` over rows
-        (correct for any dynamics); 3-Majority, 2-Choices and Voter
-        override it with single-call vectorised samplers, which is what
-        makes :class:`~repro.engine.batch.BatchPopulationEngine` fast.
+        (correct for any dynamics, no speedup).  Every dynamics in the
+        catalogue overrides it with a vectorised sampler — 3-Majority and
+        Voter with one batched multinomial, 2-Choices and Undecided-State
+        with a binomial + multinomial pair, the Median rule by mixing
+        per-row closed-form group laws into one batched multinomial, and
+        h-Majority with a chunked shared-sample path — which is what
+        makes :class:`~repro.engine.batch.BatchPopulationEngine` fast
+        (``benchmarks/bench_batch_dynamics.py`` guards the overrides and
+        tracks the per-dynamics speedups).
         """
         counts = np.asarray(counts, dtype=np.int64)
         return np.stack(
             [self.population_step(row, rng) for row in counts]
         )
 
+    def is_consensus_counts(self, counts: np.ndarray) -> bool:
+        """Consensus check for one count vector, per this dynamics.
+
+        The default — one opinion holds the entire mass — is right for
+        every dynamics whose labels are all ordinary opinions.  Dynamics
+        with auxiliary labels override it (with
+        :meth:`consensus_mask_batch`, its row-wise counterpart):
+        Undecided-State only counts a *decided* opinion holding
+        everything.  The engines' run loops consult this, so the label
+        convention travels with the dynamics across every engine.
+        """
+        counts = np.asarray(counts)
+        return bool(counts.max() == counts.sum())
+
+    def consensus_mask_batch(self, counts: np.ndarray) -> np.ndarray:
+        """Per-row consensus indicator over an ``(R, k)`` count matrix.
+
+        Row-wise counterpart of :meth:`is_consensus_counts`; override
+        the two together so the batch engine and the sequential engines
+        stop under the same convention.
+        """
+        counts = np.asarray(counts)
+        return counts.max(axis=1) == counts.sum(axis=1)
+
     # ------------------------------------------------------------------
     # Agent-level chain (any graph)
     # ------------------------------------------------------------------
+    def bind_opinion_space(self, num_opinions: int) -> None:
+        """Hook: an engine announces its opinion-space size before running.
+
+        Most dynamics need nothing beyond the labels they see and ignore
+        this.  Dynamics whose semantics depend on the label layout
+        override it — Undecided-State derives its undecided label
+        (``num_opinions - 1``) here, so a fully decided agent start is
+        interpreted correctly.  :class:`~repro.engine.agent.AgentEngine`
+        calls this at construction with its ``num_opinions``.
+        """
+
     @abc.abstractmethod
     def agent_step(
         self,

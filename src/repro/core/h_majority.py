@@ -18,7 +18,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Dynamics, sample_opinions_from_counts
+from repro.core.base import (
+    Dynamics,
+    iter_row_chunks,
+    sample_opinions_from_counts,
+    sample_opinions_from_counts_batch,
+)
 from repro.graphs.base import Graph
 
 __all__ = ["HMajority", "majority_winners"]
@@ -39,10 +44,18 @@ def majority_winners(
     maximum.  Positions holding a tied label are equinumerous (each tied
     label occupies exactly ``max_count`` positions), so uniform-over-
     positions equals uniform-over-tied-labels.
+
+    The h^2 counting passes are memory-bandwidth-bound on large inputs,
+    so occurrence counts use the narrowest safe dtype (they fit ``h``;
+    int8 up to h = 127).  The tie-break sum stays float64: in float32,
+    a jitter within 2^-22 of 1 rounds ``count + jitter`` up to the next
+    integer, letting a minority position tie the true maximum — float64
+    pushes that phantom-tie probability back to ~2^-52 per position.
     """
     samples = np.asarray(samples)
     n, h = samples.shape
-    occurrence = np.zeros((n, h), dtype=np.int32)
+    count_dtype = np.int8 if h <= np.iinfo(np.int8).max else np.int32
+    occurrence = np.zeros((n, h), dtype=count_dtype)
     for a in range(h):
         for b in range(h):
             occurrence[:, a] += samples[:, a] == samples[:, b]
@@ -54,14 +67,38 @@ def majority_winners(
 
 
 class HMajority(Dynamics):
-    """Majority-of-h dynamics with uniform random tie-breaking."""
+    """Majority-of-h dynamics with uniform random tie-breaking.
 
-    def __init__(self, h: int) -> None:
+    Parameters
+    ----------
+    h:
+        Neighbour samples per vertex per round.
+    batch_element_budget:
+        Memory guard for :meth:`population_step_batch`: the shared
+        ``(R, n*h)`` sample matrix is chunked row-wise so it never
+        outgrows this many elements per call (default
+        :data:`~repro.core.base.BATCH_ELEMENT_BUDGET` = 2**22; the
+        counting/jitter buffers alongside it put the peak at a few
+        times the budget in bytes).  Purely a space/batching knob —
+        chunked and unchunked paths sample the same chain (tests
+        KS-check this).
+    """
+
+    def __init__(
+        self, h: int, batch_element_budget: int | None = None
+    ) -> None:
         if h < 1:
             raise ValueError(f"h must be at least 1, got {h}")
         self.h = int(h)
         self.name = f"{self.h}-majority(sampled)"
         self.samples_per_round = self.h
+        if batch_element_budget is not None:
+            if batch_element_budget < 1:
+                raise ValueError(
+                    "batch_element_budget must be positive, got "
+                    f"{batch_element_budget}"
+                )
+            self.batch_element_budget = int(batch_element_budget)
 
     def population_step(
         self, counts: np.ndarray, rng: np.random.Generator
@@ -76,6 +113,46 @@ class HMajority(Dynamics):
         winners = majority_winners(samples, rng)
         new_counts = np.zeros_like(counts)
         new_counts[alive] = np.bincount(winners, minlength=alive.size)
+        return new_counts
+
+    def population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """All R replicas through one shared-sample majority pass.
+
+        Draws every replica's ``(n, h)`` neighbour samples in one
+        row-wise batched call and flattens them through
+        :func:`majority_winners` once — one O(h^2) vectorised counting
+        pass over ``R * n`` rows instead of R separate passes.  The
+        ``R * n * h`` sample matrix is the memory hot spot, so replica
+        rows are chunked to keep live scratch under
+        ``batch_element_budget`` elements (see the class docstring);
+        chunking changes memory and call granularity only, not the
+        sampled chain.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        num_rows, k = counts.shape
+        totals = counts.sum(axis=1)
+        if (totals != totals[0]).any():
+            # The shared-sample layout needs one common n; uneven rows
+            # (never produced by the batch engine) take the row loop.
+            return super().population_step_batch(counts, rng)
+        n = int(totals[0])
+        new_counts = np.empty_like(counts)
+        for start, stop in iter_row_chunks(
+            num_rows, n * self.h, self.batch_element_budget
+        ):
+            rows = stop - start
+            samples = sample_opinions_from_counts_batch(
+                counts[start:stop], n * self.h, rng, dtype=np.int32
+            )
+            winners = majority_winners(
+                samples.reshape(rows * n, self.h), rng
+            ).reshape(rows, n)
+            offsets = np.arange(rows, dtype=np.int64)[:, None] * k
+            new_counts[start:stop] = np.bincount(
+                (winners + offsets).reshape(-1), minlength=rows * k
+            ).reshape(rows, k)
         return new_counts
 
     def agent_step(

@@ -16,7 +16,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Dynamics, sample_opinions_from_counts
+from repro.core.base import (
+    Dynamics,
+    batch_multinomial_counts,
+    iter_row_chunks,
+    sample_opinions_from_counts,
+)
 from repro.graphs.base import Graph
 
 __all__ = ["MedianRule"]
@@ -54,6 +59,55 @@ class MedianRule(Dynamics):
         second = alive[pool[:, 1]]
         new = _median_of_three(own, first, second)
         return np.bincount(new, minlength=counts.size).astype(np.int64)
+
+    def population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """All R replicas via batched per-group closed-form laws.
+
+        The per-vertex median-of-three law (:meth:`single_vertex_law`)
+        depends only on the vertex's current opinion, so the ``c_{r,m}``
+        vertices of row ``r`` holding opinion ``m`` transition as one
+        ``Multinomial(c_{r,m}, law(alpha_r, m))``.  The whole round is
+        therefore an ``(R, k, k)`` law tensor — ``single_vertex_law``
+        vectorised over rows *and* conditioning opinions — flattened
+        into a single batched multinomial over the ``R * k`` groups: one
+        numpy call per round, O(R k^2) work independent of ``n``, versus
+        the O(R n) per-row neighbour sampling of the sequential step.
+        Rows are chunked so the tensor stays within
+        ``batch_element_budget`` scratch elements.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        num_rows, k = counts.shape
+        new_counts = np.empty_like(counts)
+        for start, stop in iter_row_chunks(
+            num_rows, k * k, self.batch_element_budget
+        ):
+            new_counts[start:stop] = self._step_rows(
+                counts[start:stop], rng
+            )
+        return new_counts
+
+    def _step_rows(
+        self, rows: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One vectorised round for a chunk of replica rows."""
+        num_rows, k = rows.shape
+        totals = rows.sum(axis=1)
+        alpha = rows / totals[:, None]
+        cdf = np.cumsum(alpha, axis=1)
+        both = cdf * cdf
+        one = 2.0 * cdf * (1.0 - cdf)
+        # own_le[m, x] is "own opinion m counted as <= x", exactly the
+        # ``below`` mask of single_vertex_law for every conditioning m.
+        own_le = np.arange(k)[None, :] >= np.arange(k)[:, None]
+        med_cdf = both[:, None, :] + one[:, None, :] * own_le[None, :, :]
+        law = np.diff(med_cdf, axis=-1, prepend=0.0)
+        np.clip(law, 0.0, None, out=law)
+        draws = batch_multinomial_counts(
+            rows.reshape(-1), law.reshape(-1, k), rng, self.name
+        )
+        return draws.reshape(num_rows, k, k).sum(axis=1)
 
     def agent_step(
         self,

@@ -35,8 +35,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import Dynamics, multinomial_counts
-from repro.errors import StateError
+from repro.core.base import (
+    Dynamics,
+    batch_binomial,
+    batch_multinomial_counts,
+    multinomial_counts,
+)
+from repro.errors import ConfigurationError, StateError
 from repro.graphs.base import Graph
 
 __all__ = ["UndecidedStateDynamics", "with_undecided_slot"]
@@ -52,10 +57,12 @@ class UndecidedStateDynamics(Dynamics):
     """Synchronous undecided-state dynamics over ``k`` decided opinions.
 
     Count vectors must have length ``k + 1``; agent vectors use label
-    ``k`` (the last one) for the undecided state.  The agent step infers
-    ``k`` from the engine's opinion-space size via the label maximum, so
-    construct :class:`~repro.engine.agent.AgentEngine` with
-    ``num_opinions = k + 1``.
+    ``k`` (the last one) for the undecided state.  The agent step needs
+    to *know* ``k`` — inferring it from the labels present would mistake
+    the top decided label for the undecided state on any fully decided
+    start — so either construct with ``num_decided=k`` or run through
+    :class:`~repro.engine.agent.AgentEngine` with ``num_opinions =
+    k + 1``, which binds it via :meth:`bind_opinion_space`.
     """
 
     name = "undecided"
@@ -63,8 +70,34 @@ class UndecidedStateDynamics(Dynamics):
 
     def __init__(self, num_decided: int | None = None) -> None:
         #: When given, fixes k so the agent step can locate the undecided
-        #: label even if no vertex currently holds it.
+        #: label even if no vertex currently holds it.  Engines that know
+        #: their opinion-space size bind it via :meth:`bind_opinion_space`.
         self.num_decided = num_decided
+
+    def bind_opinion_space(self, num_opinions: int) -> None:
+        """Derive the undecided label from the engine's opinion space.
+
+        An engine running over ``num_opinions`` labels means ``k =
+        num_opinions - 1`` decided opinions plus the undecided slot.  A
+        conflicting earlier binding (or explicit ``num_decided``) raises
+        rather than silently relabelling which opinion is "undecided" —
+        reuse one instance per opinion-space size.
+        """
+        derived = int(num_opinions) - 1
+        if derived < 1:
+            raise ConfigurationError(
+                "undecided dynamics needs at least 2 labels (one decided "
+                f"opinion plus the undecided slot), got {num_opinions}"
+            )
+        if self.num_decided is None:
+            self.num_decided = derived
+        elif int(self.num_decided) != derived:
+            raise ConfigurationError(
+                f"this UndecidedStateDynamics is bound to num_decided="
+                f"{self.num_decided} but the engine has {num_opinions} "
+                "labels; construct a fresh instance per opinion-space "
+                "size"
+            )
 
     def population_step(
         self, counts: np.ndarray, rng: np.random.Generator
@@ -78,9 +111,10 @@ class UndecidedStateDynamics(Dynamics):
         alpha = counts / n
         alpha_u = float(alpha[k])
         new_counts = np.zeros_like(counts)
-        # Decided groups: stay with probability alpha_i + alpha_u.
+        # Decided groups: stay with probability alpha_i + alpha_u
+        # (clipped: the sum of two count ratios can exceed 1 by an ulp).
         decided = np.flatnonzero(counts[:k])
-        stay_prob = alpha[decided] + alpha_u
+        stay_prob = np.minimum(alpha[decided] + alpha_u, 1.0)
         stayers = rng.binomial(counts[decided], stay_prob)
         new_counts[decided] += stayers
         new_counts[k] += int((counts[decided] - stayers).sum())
@@ -93,10 +127,62 @@ class UndecidedStateDynamics(Dynamics):
             new_counts += adopted
         return new_counts
 
-    def _undecided_label(self, opinions: np.ndarray) -> int:
+    def population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """All R replicas via row-wise binomials + one batched multinomial.
+
+        A direct lift of :meth:`population_step` to matrix operands —
+        the population step is already group-wise closed-form, so the
+        batched version is the same two draws on ``(R, k)`` operands:
+        per-group binomial stayers (element-wise over the decided block)
+        and one batched multinomial for every row's undecided pool.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 2 or counts.shape[1] < 2:
+            raise StateError(
+                "undecided dynamics needs (R, k+1) count rows (k >= 1)"
+            )
+        totals = counts.sum(axis=1)
+        alpha = counts / totals[:, None]
+        stay_prob = np.minimum(alpha[:, :-1] + alpha[:, -1:], 1.0)
+        stayers = batch_binomial(
+            counts[:, :-1], stay_prob, rng, self.name
+        )
+        new_counts = np.zeros_like(counts)
+        new_counts[:, :-1] = stayers
+        new_counts[:, -1] = (counts[:, :-1] - stayers).sum(axis=1)
+        new_counts += batch_multinomial_counts(
+            counts[:, -1], alpha, rng, self.name
+        )
+        return new_counts
+
+    def is_consensus_counts(self, counts: np.ndarray) -> bool:
+        """Consensus means one *decided* opinion holds everything.
+
+        The all-undecided configuration is absorbing but is *not*
+        consensus under the ``k + 1``-label convention — a run stuck
+        there keeps going and surfaces as censored, in every engine.
+        """
+        counts = np.asarray(counts)
+        return bool(counts[:-1].max() == counts.sum())
+
+    def consensus_mask_batch(self, counts: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`is_consensus_counts` for the batch engine."""
+        counts = np.asarray(counts)
+        return counts[:, :-1].max(axis=1) == counts.sum(axis=1)
+
+    def _undecided_label(self) -> int:
         if self.num_decided is not None:
             return int(self.num_decided)
-        return int(opinions.max())
+        raise ConfigurationError(
+            "UndecidedStateDynamics cannot locate the undecided label "
+            "from an agent vector alone (from a fully decided start the "
+            "top decided label would be mistaken for it): construct it "
+            "with num_decided=k, or run it through an engine that binds "
+            "the opinion-space size (AgentEngine passes num_opinions "
+            "through bind_opinion_space)"
+        )
 
     def agent_step(
         self,
@@ -104,7 +190,7 @@ class UndecidedStateDynamics(Dynamics):
         graph: Graph,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        undecided = self._undecided_label(opinions)
+        undecided = self._undecided_label()
         seen = opinions[graph.sample_neighbors(rng, 1)[:, 0]]
         undecided_now = opinions == undecided
         clash = ~undecided_now & (seen != opinions) & (seen != undecided)

@@ -21,7 +21,6 @@ from repro.state import (
     consensus_opinion,
     counts_to_agents,
     gamma_from_counts,
-    is_consensus,
     num_alive,
     validate_agents,
 )
@@ -83,6 +82,14 @@ class AgentEngine:
             if num_opinions is not None
             else int(self.opinions.max()) + 1
         )
+        # Dynamics whose semantics depend on the label layout (e.g. the
+        # undecided slot) learn the opinion-space size here — but only
+        # when the caller stated it.  Binding the label-maximum fallback
+        # would tell e.g. Undecided-State that the top *decided* label
+        # is the undecided slot on a fully decided start; leaving such
+        # dynamics unbound makes them fail loudly instead.
+        if num_opinions is not None:
+            self.dynamics.bind_opinion_space(self.num_opinions)
         self.rng = as_generator(seed)
         self.round_index = 0
 
@@ -152,9 +159,11 @@ class AgentEngine:
         return num_alive(self.counts)
 
     def is_consensus(self) -> bool:
-        return is_consensus(self.counts)
+        return self.dynamics.is_consensus_counts(self.counts)
 
     def winner(self) -> int | None:
+        if not self.is_consensus():
+            return None
         return consensus_opinion(self.counts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

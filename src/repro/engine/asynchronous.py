@@ -29,7 +29,6 @@ from repro.seeding import RandomState, as_generator
 from repro.state import (
     consensus_opinion,
     gamma_from_counts,
-    is_consensus,
     num_alive,
     validate_counts,
 )
@@ -95,14 +94,19 @@ class AsyncPopulationEngine:
     def run_until_consensus(self, max_ticks: int) -> int | None:
         """Run until consensus; returns the consensus tick or ``None``.
 
-        Checks the cheap two-survivor condition only when the support
-        may have changed, so the loop body stays minimal.
+        The cheap one-opinion-holds-all test is the per-tick hot-path
+        filter; ticks that pass it confirm against the dynamics' own
+        convention (:meth:`~repro.core.base.Dynamics.is_consensus_counts`
+        — for Undecided-State, only a *decided* winner stops the run).
         """
         if self.is_consensus():
             return self.tick_index
         while self.tick_index < max_ticks:
             self.step()
-            if self.counts.max() == self.num_vertices:
+            if (
+                self.counts.max() == self.num_vertices
+                and self.dynamics.is_consensus_counts(self.counts)
+            ):
                 return self.tick_index
         return None
 
@@ -127,9 +131,11 @@ class AsyncPopulationEngine:
         return num_alive(self.counts)
 
     def is_consensus(self) -> bool:
-        return is_consensus(self.counts)
+        return self.dynamics.is_consensus_counts(self.counts)
 
     def winner(self) -> int | None:
+        if not self.is_consensus():
+            return None
         return consensus_opinion(self.counts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -5,10 +5,20 @@ Python loop over single :class:`~repro.engine.population.PopulationEngine`
 instances — R round-loops, each paying the per-call numpy overhead on tiny
 arrays.  This engine instead holds all R replicas as one ``(R, k)`` int64
 count matrix and advances every *unfinished* replica with a single call to
-the dynamics' ``population_step_batch`` (one batched multinomial for
-3-Majority and Voter, a binomial + multinomial pair for 2-Choices), so a
-``replicate``-style workload has one vectorised hot loop instead of R
-sequential ones.
+the dynamics' ``population_step_batch``.  Every dynamics in the catalogue
+is fully vectorised there: one batched multinomial for 3-Majority and
+Voter, a binomial + multinomial pair for 2-Choices and Undecided-State, a
+batched group-law multinomial for the Median rule, and a chunked
+shared-sample pass for h-Majority (``benchmarks/bench_batch_dynamics.py``
+guards the overrides and tracks the speedups), so a ``replicate``-style
+workload has one vectorised hot loop instead of R sequential ones.
+
+The stopping rule is dynamics-aware: each round the engine asks the
+dynamics' ``consensus_mask_batch`` which rows stopped, so dynamics with
+auxiliary labels keep their own convention — for Undecided-State,
+"consensus" means one *decided* opinion holds everything and the
+(absorbing, practically unreachable) all-undecided row counts as
+censored, never as a winner.
 
 Each row is the same Markov chain a single :class:`PopulationEngine` runs
 (the tests check distributional agreement via KS tests), but all rows
@@ -28,6 +38,7 @@ keeps running until every row is frozen or the round budget is spent.
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Callable
 
 import numpy as np
@@ -39,7 +50,7 @@ from repro.adversary.base import (
 from repro.core.base import Dynamics
 from repro.engine.registry import register_engine
 from repro.engine.runner import RunResult
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ConsensusNotReached
 from repro.seeding import RandomState, as_generator
 from repro.state import validate_counts
 
@@ -52,9 +63,11 @@ class BatchPopulationEngine:
     Parameters
     ----------
     dynamics:
-        Any :class:`~repro.core.base.Dynamics`.  3-Majority, 2-Choices
-        and Voter run fully vectorised; other dynamics fall back to a
-        row loop inside ``population_step_batch`` (correct, no speedup).
+        Any :class:`~repro.core.base.Dynamics`.  Every catalogued
+        dynamics (3-Majority, 2-Choices, Voter, Median, Undecided-State,
+        h-Majority) runs fully vectorised; third-party dynamics without
+        a ``population_step_batch`` override fall back to a row loop
+        (correct, no speedup).
     counts:
         Either a 1-D count vector shared by every replica, or an
         ``(R, k)`` matrix giving each replica its own start.  Every row
@@ -73,6 +86,15 @@ class BatchPopulationEngine:
         Optional stopping predicate on a single row's count vector;
         replaces the consensus check, evaluated per active row per
         round.  Rows satisfying it freeze exactly like consensus rows.
+    element_budget:
+        Optional override of the dynamics' ``batch_element_budget`` —
+        the scratch-element ceiling that chunks replica rows in batch
+        steps whose intermediates outgrow ``R * k`` (h-Majority's
+        ``(R, n*h)`` sample matrix, Median's ``(R, k, k)`` law tensor).
+        Lower it to cap memory, raise it to take bigger vectorised
+        bites; it never changes the sampled chain.  Applied to a
+        shallow copy of the dynamics (exposed as ``self.dynamics``), so
+        the caller's instance keeps its own budget.
 
     Attributes
     ----------
@@ -96,7 +118,18 @@ class BatchPopulationEngine:
         seed: RandomState = None,
         adversary: Adversary | None = None,
         target: Callable[[np.ndarray], bool] | None = None,
+        element_budget: int | None = None,
     ) -> None:
+        if element_budget is not None:
+            if element_budget < 1:
+                raise ConfigurationError(
+                    "element_budget must be positive, got "
+                    f"{element_budget}"
+                )
+            # Override on a shallow copy so a dynamics instance shared
+            # with other engines (or used directly) keeps its budget.
+            dynamics = copy.copy(dynamics)
+            dynamics.batch_element_budget = int(element_budget)
         self.dynamics = dynamics
         self.adversary = adversary
         self.target = target
@@ -144,13 +177,18 @@ class BatchPopulationEngine:
     def _stopped(self, rows: np.ndarray) -> np.ndarray:
         """Per-row stopping mask: consensus, or the ``target`` predicate.
 
+        The default consensus check is the *dynamics'*
+        ``consensus_mask_batch``, so label conventions travel with the
+        dynamics (Undecided-State only stops on a decided winner).
         Targets exposing a ``batch(rows)`` method (e.g.
         :class:`~repro.adversary.tolerance.LeaderThresholdTarget`) are
         evaluated in one vectorised call; plain predicates fall back to
         a per-row loop.
         """
         if self.target is None:
-            return rows.max(axis=1) == self.num_vertices
+            return np.asarray(
+                self.dynamics.consensus_mask_batch(rows), dtype=bool
+            )
         batch_predicate = getattr(self.target, "batch", None)
         if batch_predicate is not None:
             return np.asarray(batch_predicate(rows), dtype=bool)
@@ -212,9 +250,17 @@ class BatchPopulationEngine:
         return self.results()
 
     def results(self) -> list[RunResult]:
-        """Per-replica results for the rounds executed so far."""
+        """Per-replica results for the rounds executed so far.
+
+        ``winner`` uses the dynamics' consensus convention, so an
+        Undecided-State row reports a winner only when a *decided*
+        opinion holds everything (the winning label is then that decided
+        opinion — the undecided slot is empty at consensus).
+        """
         winners = self.counts.argmax(axis=1)
-        at_consensus = self.counts.max(axis=1) == self.num_vertices
+        at_consensus = np.asarray(
+            self.dynamics.consensus_mask_batch(self.counts), dtype=bool
+        )
         out: list[RunResult] = []
         for r in range(self.num_replicas):
             converged = bool(self.frozen[r])
@@ -266,7 +312,15 @@ class BatchPopulationEngine:
 
 
 def _run_spec(spec) -> list[RunResult]:
-    """Registry adapter: all R replicas in one vectorised engine."""
+    """Registry adapter: all R replicas in one vectorised engine.
+
+    Honors ``spec.on_budget`` like every other engine adapter: with
+    ``"raise"``, censored replicas raise
+    :class:`~repro.errors.ConsensusNotReached` here rather than relying
+    on the :func:`~repro.simulation.run.execute` dispatcher, so direct
+    ``get_engine("batch").run(spec)`` callers see the same contract as
+    population/agent/async.
+    """
     engine = BatchPopulationEngine(
         spec.resolved_dynamics(),
         spec.initial_counts(),
@@ -275,7 +329,17 @@ def _run_spec(spec) -> list[RunResult]:
         adversary=spec.resolved_adversary(),
         target=spec.target,
     )
-    return engine.run_until_consensus(spec.round_budget())
+    budget = spec.round_budget()
+    results = engine.run_until_consensus(budget)
+    if spec.on_budget == "raise":
+        censored = sum(1 for result in results if not result.converged)
+        if censored:
+            raise ConsensusNotReached(
+                budget,
+                f"{censored} of {spec.replicas} replicas did not reach "
+                f"consensus within {budget} rounds",
+            )
+    return results
 
 
 register_engine(

@@ -23,7 +23,6 @@ from repro.seeding import RandomState, as_generator
 from repro.state import (
     consensus_opinion,
     gamma_from_counts,
-    is_consensus,
     num_alive,
     validate_counts,
 )
@@ -108,11 +107,17 @@ class PopulationEngine:
         return num_alive(self.counts)
 
     def is_consensus(self) -> bool:
-        """True once a single opinion holds every vertex."""
-        return is_consensus(self.counts)
+        """True at consensus under the dynamics' label convention."""
+        return self.dynamics.is_consensus_counts(self.counts)
 
     def winner(self) -> int | None:
-        """Winning opinion at consensus, else ``None``."""
+        """Winning opinion at consensus, else ``None``.
+
+        Consensus is the dynamics' convention, so e.g. the undecided
+        label of an all-undecided USD state is never reported.
+        """
+        if not self.is_consensus():
+            return None
         return consensus_opinion(self.counts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

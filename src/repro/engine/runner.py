@@ -97,18 +97,35 @@ def run_until_consensus(
         raise ConfigurationError(
             f"on_budget must be 'return' or 'raise', got {on_budget!r}"
         )
-    done = target if target is not None else is_consensus
+    # The consensus convention travels with the dynamics (e.g.
+    # Undecided-State only stops on a *decided* winner); engines
+    # without a dynamics fall back to the generic check.  It is both
+    # the default stopping rule and — like the batch engine — the gate
+    # on reporting a winner when a custom target stops the run.
+    dynamics = getattr(engine, "dynamics", None)
+    at_consensus = (
+        dynamics.is_consensus_counts
+        if dynamics is not None
+        and hasattr(dynamics, "is_consensus_counts")
+        else is_consensus
+    )
+    done = target if target is not None else at_consensus
+
+    def stopped_result() -> RunResult:
+        return RunResult(
+            converged=True,
+            rounds=engine.round_index,
+            winner=consensus_opinion(counts)
+            if at_consensus(counts)
+            else None,
+            final_counts=np.asarray(counts).copy(),
+        )
 
     counts = engine.counts
     for obs in observers:
         obs.observe(engine.round_index, counts)
     if done(counts):
-        return RunResult(
-            converged=True,
-            rounds=engine.round_index,
-            winner=consensus_opinion(counts),
-            final_counts=np.asarray(counts).copy(),
-        )
+        return stopped_result()
 
     for _ in range(max_rounds):
         engine.step()
@@ -116,12 +133,7 @@ def run_until_consensus(
         for obs in observers:
             obs.observe(engine.round_index, counts)
         if done(counts):
-            return RunResult(
-                converged=True,
-                rounds=engine.round_index,
-                winner=consensus_opinion(counts),
-                final_counts=np.asarray(counts).copy(),
-            )
+            return stopped_result()
 
     if on_budget == "raise":
         raise ConsensusNotReached(engine.round_index)

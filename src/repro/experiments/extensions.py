@@ -12,6 +12,14 @@ baselines of Section 1.1, measured at one (n, k):
   the complete graph up to constants);
 * **baselines** — Voter and Median rule vs. 3-Majority/2-Choices at the
   same (n, k), showing why majority-style aggregation matters.
+
+All population-level sweeps run through ``engine="batch"`` — every
+catalogued dynamics now has a vectorised ``population_step_batch``, so
+the replicated h-Majority / undecided / baseline measurements advance
+all replicas as one count matrix instead of a Python replica loop (the
+USD runs rely on the batch engine's k+1-label consensus convention:
+only a *decided* winner stops a row).  The expander comparison stays on
+the per-vertex agent engine, which is the point of that probe.
 """
 
 from __future__ import annotations
@@ -93,6 +101,7 @@ def run(preset: str = "quick", seed: int = 0) -> ExperimentResult:
             num_runs=params["num_runs"],
             max_rounds=budget,
             seed=(seed, h_idx),
+            engine="batch",
         )
         times = consensus_times(results)
         median = float(np.median(times)) if times.size else float("nan")
@@ -104,6 +113,7 @@ def run(preset: str = "quick", seed: int = 0) -> ExperimentResult:
         num_runs=params["num_runs"],
         max_rounds=budget,
         seed=(seed, 50),
+        engine="batch",
     )
     t3 = float(np.median(consensus_times(closed_form)))
     rows.append(["h-majority", "h=3 (closed form)", k, t3])
@@ -147,6 +157,7 @@ def run(preset: str = "quick", seed: int = 0) -> ExperimentResult:
             num_runs=params["num_runs"],
             max_rounds=budget,
             seed=(seed, 100 + k_idx),
+            engine="batch",
         )
         times = consensus_times(results)
         median = float(np.median(times)) if times.size else float("nan")
@@ -230,6 +241,7 @@ def run(preset: str = "quick", seed: int = 0) -> ExperimentResult:
             num_runs=params["num_runs"],
             max_rounds=budget,
             seed=(seed, baseline_seed),
+            engine="batch",
         )
         times = consensus_times(results)
         median = float(np.median(times)) if times.size else float("inf")

@@ -49,8 +49,9 @@ def execute(spec: SimulationSpec) -> ResultSet:
     """Run every replica of ``spec`` and aggregate the results."""
     results = list(get_engine(spec.engine).run(spec))
     if spec.on_budget == "raise":
-        # Engines whose run loop can abort early (population/agent)
-        # raise from inside; this uniform check covers the rest, so any
+        # All four built-in adapters raise from inside (so direct
+        # get_engine(...).run(spec) callers see the same contract);
+        # this uniform check covers third-party engines, so any
         # registered engine honours the policy without custom code.
         censored = sum(1 for r in results if not r.converged)
         if censored:

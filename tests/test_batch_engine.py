@@ -18,7 +18,13 @@ import pytest
 from scipy.stats import ks_2samp
 
 from repro.configs import balanced, zipf
-from repro.core import HMajority, ThreeMajority, TwoChoices, Voter
+from repro.core import (
+    HMajority,
+    MedianRule,
+    ThreeMajority,
+    TwoChoices,
+    Voter,
+)
 from repro.engine import (
     BatchPopulationEngine,
     PopulationEngine,
@@ -90,7 +96,13 @@ class TestConservationLedger:
 
     @pytest.mark.parametrize(
         "dynamics",
-        [ThreeMajority(), TwoChoices(), Voter(), HMajority(5)],
+        [
+            ThreeMajority(),
+            TwoChoices(),
+            Voter(),
+            HMajority(5),
+            MedianRule(),
+        ],
         ids=lambda d: d.name,
     )
     def test_stepwise_invariants(self, dynamics):

@@ -74,6 +74,39 @@ class TestBiased:
     def test_k1_noop(self):
         assert biased(50, 1, 0.2).tolist() == [50]
 
+    def test_full_slack_margin_delivered_exactly(self):
+        # balanced(13, 4) = [4, 3, 3, 3]: donors can give exactly 6.
+        counts = biased(13, 4, 6 / 13)
+        assert counts.tolist() == [10, 1, 1, 1]
+
+    def test_unachievable_margin_raises(self):
+        """Regression: the old donor cap silently delivered a smaller
+        margin than requested instead of failing."""
+        with pytest.raises(ConfigurationError, match="achievable"):
+            biased(13, 4, 7 / 13)
+        with pytest.raises(ConfigurationError, match="achievable"):
+            biased(100, 2, 0.8)  # single donor has only 49 to give
+
+    @given(nk, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_margin_exact_or_rejected(self, t, margin):
+        """Achievable margins are delivered in full (the leader gains
+        exactly round(margin * n)); unachievable ones raise."""
+        n, k = t
+        base = balanced(n, k)
+        move = int(round(margin * n))
+        available = int((base[1:] - 1).sum()) if k > 1 else 0
+        if k > 1 and move > available:
+            with pytest.raises(ConfigurationError):
+                biased(n, k, margin)
+            return
+        counts = biased(n, k, margin)
+        assert counts.sum() == n
+        assert counts.min() >= 1
+        if k > 1:
+            assert counts[0] == base[0] + move
+            assert np.all(counts[0] - counts[1:] >= move)
+
 
 class TestTwoBlock:
     def test_leader_fraction(self):

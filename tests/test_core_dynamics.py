@@ -363,6 +363,71 @@ class TestUndecided:
         # Decided-0 vertices can only stay 0 (they see 0 or undecided).
         assert set(np.unique(new[:5])) <= {0}
 
+    def test_agent_step_requires_label_binding(self, rng):
+        """Regression: no more opinions.max() fallback, which mistook
+        the top decided label for the undecided state on any fully
+        decided start."""
+        from repro.errors import ConfigurationError
+
+        dynamics = UndecidedStateDynamics()
+        opinions = np.asarray([0, 1, 0, 1], dtype=np.int64)
+        with pytest.raises(ConfigurationError, match="num_decided"):
+            dynamics.agent_step(opinions, CompleteGraph(4), rng)
+
+    def test_decided_start_on_non_complete_graph(self, rng):
+        """Regression: from a fully decided start on a non-complete
+        graph, vertices holding the top decided label must clash into
+        the undecided state — never be treated as undecided and adopt
+        a decided opinion directly."""
+        from repro.engine import AgentEngine
+        from repro.graphs.generators import random_regular
+
+        n = 200
+        graph = random_regular(n, 8, seed=1, self_loops=True)
+        opinions = np.asarray([0, 1] * (n // 2), dtype=np.int64)
+        engine = AgentEngine(
+            UndecidedStateDynamics(),
+            graph,
+            opinions,
+            num_opinions=3,  # binds the undecided label to 2
+            seed=rng,
+        )
+        assert engine.dynamics.num_decided == 2
+        new = engine.step()
+        # One synchronous USD step can only keep a decided opinion or
+        # clash into undecided; a decided vertex can never jump to the
+        # *other* decided opinion in one round.
+        assert set(np.unique(new[opinions == 0])) <= {0, 2}
+        assert set(np.unique(new[opinions == 1])) <= {1, 2}
+        # Clashes must actually occur w.o.p. from a half/half start.
+        assert (new == 2).any()
+
+    def test_bind_opinion_space_conflict_raises(self):
+        from repro.errors import ConfigurationError
+
+        dynamics = UndecidedStateDynamics(num_decided=2)
+        dynamics.bind_opinion_space(3)  # consistent: idempotent
+        assert dynamics.num_decided == 2
+        with pytest.raises(ConfigurationError, match="fresh instance"):
+            dynamics.bind_opinion_space(5)
+
+    def test_agent_engine_inferred_labels_fail_loudly(self, rng):
+        """AgentEngine's label-maximum num_opinions fallback must not
+        silently bind a fully decided start's top label as undecided —
+        the unbound dynamics raises at the first step instead."""
+        from repro.engine import AgentEngine
+        from repro.errors import ConfigurationError
+
+        engine = AgentEngine(
+            UndecidedStateDynamics(),
+            CompleteGraph(4),
+            np.asarray([0, 1, 0, 1], dtype=np.int64),
+            seed=rng,  # num_opinions omitted on purpose
+        )
+        assert engine.dynamics.num_decided is None
+        with pytest.raises(ConfigurationError, match="num_decided"):
+            engine.step()
+
     def test_population_matches_expected(self, rng):
         dynamics = UndecidedStateDynamics()
         counts = with_undecided_slot(np.asarray([600, 300]))

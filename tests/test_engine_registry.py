@@ -172,6 +172,51 @@ class TestPluggableEngine:
         finally:
             unregister_engine("stuck")
 
+    @pytest.mark.parametrize(
+        "engine", ["population", "agent", "async", "batch"]
+    )
+    def test_on_budget_raise_contract_at_adapter_level(self, engine):
+        """Every built-in adapter honours on_budget='raise' itself.
+
+        Regression: the batch adapter used to return censored results
+        and rely on the ``execute`` dispatcher, so direct
+        ``get_engine(...).run(spec)`` callers silently got censored
+        data while the other engines raised.
+        """
+        from repro.errors import ConsensusNotReached
+
+        spec = SimulationSpec(
+            dynamics="voter",
+            n=100,
+            k=4,
+            engine=engine,
+            replicas=3,
+            max_rounds=0,  # guaranteed censoring from a split start
+            on_budget="raise",
+            seed=0,
+        )
+        with pytest.raises(ConsensusNotReached):
+            get_engine(engine).run(spec)
+
+    @pytest.mark.parametrize(
+        "engine", ["population", "agent", "async", "batch"]
+    )
+    def test_on_budget_return_yields_censored_results(self, engine):
+        spec = SimulationSpec(
+            dynamics="voter",
+            n=100,
+            k=4,
+            engine=engine,
+            replicas=3,
+            max_rounds=0,
+            on_budget="return",
+            seed=0,
+        )
+        results = list(get_engine(engine).run(spec))
+        assert len(results) == 3
+        assert all(not r.converged for r in results)
+        assert all(r.winner is None for r in results)
+
     def test_replace_flag_allows_override(self):
         original = get_engine("population")
         register_engine(
