@@ -69,6 +69,7 @@ from repro.core import (
 from repro.engine import (
     AgentEngine,
     AsyncPopulationEngine,
+    BatchAgentEngine,
     BatchPopulationEngine,
     EngineInfo,
     PopulationEngine,
@@ -104,6 +105,7 @@ __all__ = [
     "AgentEngine",
     "ApproximateMajority",
     "AsyncPopulationEngine",
+    "BatchAgentEngine",
     "BatchPopulationEngine",
     "CompleteGraph",
     "ConfigurationError",

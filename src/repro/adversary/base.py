@@ -35,6 +35,7 @@ __all__ = [
     "Adversary",
     "AdversarialPopulationEngine",
     "apply_corruption",
+    "apply_count_delta",
     "enforce_corruption_contract",
     "enforce_corruption_contract_batch",
 ]
@@ -148,6 +149,40 @@ def enforce_corruption_contract_batch(
             f"row {row}, exceeding its budget of {budget}"
         )
     return after
+
+
+def apply_count_delta(
+    opinions: np.ndarray, delta: np.ndarray, rng: np.random.Generator
+) -> None:
+    """Reassign vertices of one replica to realise a count-level delta.
+
+    The agent-level lift of a population-level corruption: ``delta`` is
+    ``corrupted_counts - counts`` (summing to zero), and uniformly
+    random holders of each losing opinion are moved to the gaining
+    opinions, with the victim→gainer pairing shuffled so it carries no
+    positional bias when several opinions lose and several gain at
+    once.  Shared by the sequential :class:`~repro.engine.agent.
+    AgentEngine` and the batched :class:`~repro.engine.agent_batch.
+    BatchAgentEngine`, so the two engines can never drift apart on how
+    a corruption lands on vertices.  Mutates ``opinions`` in place.
+    """
+    losers = np.flatnonzero(delta < 0)
+    if losers.size == 0:
+        return
+    victims = np.concatenate(
+        [
+            rng.choice(
+                np.flatnonzero(opinions == opinion),
+                size=int(-delta[opinion]),
+                replace=False,
+            )
+            for opinion in losers
+        ]
+    )
+    gainers = np.flatnonzero(delta > 0)
+    new_labels = np.repeat(gainers, delta[gainers])
+    rng.shuffle(victims)
+    opinions[victims] = new_labels.astype(opinions.dtype)
 
 
 def apply_corruption(

@@ -18,6 +18,9 @@ Subcommands
     single population run prints a per-round trajectory summary; with
     ``--replicas`` (or ``--engine batch``) it prints the aggregate
     consensus-time quantiles, censoring and winner histogram instead.
+    ``--graph FAMILY [--degree D | --edge-probability P]`` runs on a
+    sparse substrate: the graph-capable engines take over (``agent``,
+    or the vectorised ``agent-batch`` when replicated).
     ``--adversary NAME --adversary-budget F`` attacks every run with an
     F-bounded adversary ([GL18] model); with ``F >= 1`` the stopping
     rule becomes the near-consensus threshold (leader holds all but 4F
@@ -26,10 +29,12 @@ Subcommands
     one (``async``) measure strict consensus and say so.
 ``sweep --n N [N...] --k K [K...] [--dynamics D [D...]] [...]``
     Cached consensus-time sweep over the (dynamics, n, k) grid, with
-    optional process-parallel workers.  ``--adversary NAME
+    optional process-parallel workers.  ``--graph random-regular
+    --degree 4 8 16`` adds a graph-density grid axis (the "consensus
+    time vs. degree" workload family); ``--adversary NAME
     --adversary-budget F [F...]`` adds the adversary to every point
-    (several budgets form a tolerance-sweep grid axis); adversarial
-    points cache under distinct keys per strategy and budget.
+    (several budgets form a tolerance-sweep grid axis).  Points cache
+    under distinct keys per substrate, strategy and budget.
 ``dynamics``
     List the registered dynamics specs.
 ``engines``
@@ -50,8 +55,9 @@ from repro.adversary import (
 from repro.analysis.comparison import render_comparisons_markdown
 from repro.core.registry import available_dynamics
 from repro.engine.registry import available_engines, get_engine
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GraphError
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.graphs import GRAPH_FAMILIES, make_graph
 from repro.simulation import INITIAL_FAMILIES
 
 __all__ = ["main"]
@@ -104,9 +110,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sim_parser.add_argument(
         "--engine",
-        default="population",
+        default=None,
         choices=available_engines(),
-        help="simulation engine (default population)",
+        help=(
+            "simulation engine (default population; with --graph the "
+            "default becomes agent, or agent-batch when --replicas > 1)"
+        ),
+    )
+    sim_parser.add_argument(
+        "--graph",
+        default=None,
+        choices=sorted(GRAPH_FAMILIES),
+        help=(
+            "graph substrate family; picks a graph-capable engine "
+            "(agent, or agent-batch with --replicas > 1) unless "
+            "--engine names one explicitly"
+        ),
+    )
+    sim_parser.add_argument(
+        "--degree",
+        type=int,
+        default=None,
+        help="vertex degree for --graph random-regular",
+    )
+    sim_parser.add_argument(
+        "--edge-probability",
+        type=float,
+        default=None,
+        help="edge probability for --graph erdos-renyi",
+    )
+    sim_parser.add_argument(
+        "--graph-seed",
+        type=int,
+        default=0,
+        help="edge-set seed for random graph families (default 0)",
     )
     sim_parser.add_argument(
         "--replicas",
@@ -146,6 +183,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--k", type=int, nargs="+", required=True, help="grid values for k"
+    )
+    sweep_parser.add_argument(
+        "--graph",
+        default=None,
+        choices=sorted(GRAPH_FAMILIES),
+        help="graph substrate family applied at every point",
+    )
+    sweep_parser.add_argument(
+        "--degree",
+        type=int,
+        nargs="+",
+        default=None,
+        help=(
+            "vertex degree(s) for --graph random-regular; several "
+            "values form a density-sweep grid axis"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--edge-probability",
+        type=float,
+        default=None,
+        help="edge probability for --graph erdos-renyi",
+    )
+    sweep_parser.add_argument(
+        "--graph-seed",
+        type=int,
+        default=0,
+        help="edge-set seed for random graph families (default 0)",
     )
     sweep_parser.add_argument(
         "--runs", type=int, default=3, help="replicas per point (default 3)"
@@ -312,13 +377,43 @@ def _simulate(args) -> int:
     from repro.engine import TrajectoryRecorder
     from repro.simulation import Simulation
 
-    trajectory = args.engine == "population" and args.replicas == 1
+    engine = args.engine
+    graph = None
+    if args.graph is None and (
+        args.degree is not None or args.edge_probability is not None
+    ):
+        # Mirror the sweep subcommand: a forgotten --graph must not
+        # silently run the complete-graph chain under a sparse label.
+        print("error: --degree/--edge-probability require --graph NAME")
+        return 2
+    if args.graph is not None:
+        try:
+            graph = make_graph(
+                args.graph,
+                args.n,
+                degree=args.degree,
+                edge_probability=args.edge_probability,
+                seed=args.graph_seed,
+            )
+        except Exception as exc:
+            print(f"error: {exc}")
+            return 2
+        if engine is None:
+            # No explicit --engine: pick the graph-capable engine
+            # matching the workload (batched when replicated).  An
+            # explicit non-graph engine falls through to the spec's
+            # validation error naming the graph-capable engines.
+            engine = "agent" if args.replicas == 1 else "agent-batch"
+    elif engine is None:
+        engine = "population"
+    trajectory = engine == "population" and args.replicas == 1
     builder = (
         Simulation.of(args.dynamics)
         .n(args.n)
         .k(args.k)
         .initial(args.config)
-        .engine(args.engine)
+        .on_graph(graph)
+        .engine(engine)
         .replicas(args.replicas)
         .seed(args.seed)
         .max_rounds(args.max_rounds)
@@ -328,7 +423,7 @@ def _simulate(args) -> int:
         builder.adversary(args.adversary, args.adversary_budget)
         if (
             args.adversary_budget
-            and get_engine(args.engine).supports_target
+            and get_engine(engine).supports_target
         ):
             # An F >= 1 adversary can keep a stray vertex alive forever,
             # so "consensus despite the adversary" means the leader
@@ -342,7 +437,7 @@ def _simulate(args) -> int:
             )
         elif args.adversary_budget:
             print(
-                f"note: engine={args.engine!r} does not support a "
+                f"note: engine={engine!r} does not support a "
                 "custom stopping target, so this run measures strict "
                 "consensus — a stalling adversary can block it for the "
                 "whole round budget"
@@ -412,8 +507,23 @@ def _sweep(args) -> int:
         fixed["dynamics"] = args.dynamics[0]
     if args.max_rounds is not None:
         fixed["max_rounds"] = args.max_rounds
+    graph_sweep = args.graph is not None
     adversarial = args.adversary is not None
     try:
+        if graph_sweep:
+            fixed["graph"] = args.graph
+            fixed["graph_seed"] = args.graph_seed
+            if args.edge_probability is not None:
+                fixed["edge_probability"] = args.edge_probability
+            if args.degree:
+                if len(args.degree) > 1:
+                    grid["degree"] = args.degree
+                else:
+                    fixed["degree"] = args.degree[0]
+        elif args.degree or args.edge_probability is not None:
+            raise ConfigurationError(
+                "--degree/--edge-probability require --graph NAME"
+            )
         if adversarial:
             if not args.adversary_budget:
                 raise ConfigurationError(
@@ -435,7 +545,10 @@ def _sweep(args) -> int:
         points = run_sweep(
             spec, cache_dir=args.cache, workers=args.workers
         )
-    except ConfigurationError as exc:
+    except (ConfigurationError, GraphError) as exc:
+        # GraphError surfaces from substrate construction inside the
+        # sweep (e.g. random-regular without --degree); both are user
+        # misconfiguration, not crashes.
         print(f"error: {exc}")
         return 2
     wall = time.perf_counter() - started
@@ -455,10 +568,15 @@ def _sweep(args) -> int:
         headers.insert(3, "F")
         for row, point in zip(rows, points):
             row.insert(3, point.params["adversary_budget"])
+    if graph_sweep and "degree" in grid:
+        headers.insert(3, "degree")
+        for row, point in zip(rows, points):
+            row.insert(3, point.params["degree"])
     title = (
         f"Consensus-time sweep ({len(points)} points, "
         f"{args.runs} runs each, seed={args.seed}"
         + (f", adversary={args.adversary}" if adversarial else "")
+        + (f", graph={args.graph}" if graph_sweep else "")
         + ")"
     )
     print(format_table(headers, rows, title=title))

@@ -12,6 +12,7 @@ from repro.core.base import (
     Dynamics,
     batch_binomial,
     batch_multinomial_counts,
+    gather_neighbor_opinions_batch,
     iter_row_chunks,
     multinomial_counts,
     sample_opinions_from_counts,
@@ -37,6 +38,7 @@ __all__ = [
     "available_dynamics",
     "batch_binomial",
     "batch_multinomial_counts",
+    "gather_neighbor_opinions_batch",
     "iter_row_chunks",
     "make_dynamics",
     "multinomial_counts",

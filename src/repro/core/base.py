@@ -44,6 +44,7 @@ __all__ = [
     "Dynamics",
     "batch_binomial",
     "batch_multinomial_counts",
+    "gather_neighbor_opinions_batch",
     "iter_row_chunks",
     "multinomial_counts",
     "sample_opinions_from_counts",
@@ -220,6 +221,37 @@ def sample_opinions_from_counts_batch(
     return rng.permuted(labels.reshape(num_rows, num_samples), axis=1)
 
 
+def gather_neighbor_opinions_batch(
+    opinions: np.ndarray,
+    neighbor_ids: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Look up sampled neighbours' opinions across R replica rows.
+
+    ``opinions`` is a C-contiguous ``(R, n)`` opinion matrix and
+    ``neighbor_ids`` a ``(samples, R, n)`` tensor of vertex ids (the
+    layout produced by :meth:`repro.graphs.base.Graph.
+    sample_neighbors_batch`).  Returns the ``(samples, R, n)`` tensor of
+    the corresponding opinions, in ``opinions``' dtype — the shared
+    gather behind every vectorised ``agent_step_batch``.  ``out``
+    (same shape and dtype) lets single-sample callers like the Voter
+    step land the result directly in their output block instead of
+    paying an extra copy.
+
+    Implementation note: each replica row is offset into the flattened
+    opinion matrix and resolved with a single bounds-check-free
+    ``np.take`` (ids are valid vertex indices by construction, so
+    ``mode="clip"`` never clips); one fused take measures several times
+    faster than per-sample fancy indexing.
+    """
+    num_rows, n = opinions.shape
+    row_base = (np.arange(num_rows, dtype=np.intp) * n)[:, None]
+    flat_index = np.add(neighbor_ids, row_base, casting="unsafe")
+    return np.take(
+        opinions.reshape(-1), flat_index, out=out, mode="clip"
+    )
+
+
 class Dynamics(abc.ABC):
     """Abstract synchronous consensus dynamics."""
 
@@ -318,6 +350,44 @@ class Dynamics(abc.ABC):
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Sample every vertex's next opinion simultaneously."""
+
+    def agent_step_batch(
+        self,
+        opinions: np.ndarray,
+        graph: Graph,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Advance R replicas of the agent-level chain one round each.
+
+        ``opinions`` is an ``(R, n)`` integer matrix, one replica of
+        per-vertex opinions per row, all sharing ``graph``; the result
+        has the same shape and dtype.  The base implementation loops
+        :meth:`agent_step` over rows (correct for any dynamics, no
+        speedup).  The pull-based paper dynamics (3-Majority, 2-Choices,
+        Voter) override it with single-pass vectorised samplers built on
+        :meth:`~repro.graphs.base.Graph.sample_neighbors_batch` and
+        :func:`gather_neighbor_opinions_batch`, which is what makes
+        :class:`~repro.engine.agent_batch.BatchAgentEngine` fast
+        (``benchmarks/bench_agent_batch.py`` guards the overrides and
+        tracks the speedups).
+        """
+        opinions = np.asarray(opinions)
+        return np.stack(
+            [self.agent_step(row, graph, rng) for row in opinions]
+        )
+
+    def consensus_mask_agents(self, opinions: np.ndarray) -> np.ndarray:
+        """Per-row consensus indicator over an ``(R, n)`` opinion matrix.
+
+        Agent-level counterpart of :meth:`consensus_mask_batch`, used by
+        the batched graph engine so the label convention travels with
+        the dynamics without materialising count vectors every round.
+        The default — all vertices share one label — matches the generic
+        count-level rule; Undecided-State overrides it (a row uniform on
+        the undecided label is absorbing but *not* consensus).
+        """
+        opinions = np.asarray(opinions)
+        return (opinions == opinions[:, :1]).all(axis=1)
 
     # ------------------------------------------------------------------
     # Asynchronous chain (complete graph with self-loops)

@@ -28,6 +28,8 @@ import numpy as np
 from repro.core.base import (
     Dynamics,
     batch_multinomial_counts,
+    gather_neighbor_opinions_batch,
+    iter_row_chunks,
     multinomial_counts,
 )
 from repro.graphs.base import Graph
@@ -97,6 +99,31 @@ class ThreeMajority(Dynamics):
         w2 = opinions[samples[:, 1]]
         w3 = opinions[samples[:, 2]]
         return np.where(w1 == w2, w1, w3)
+
+    def agent_step_batch(
+        self,
+        opinions: np.ndarray,
+        graph: Graph,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """All R replicas: batched triple sample, gather, combine.
+
+        The first-two-else-third rule vectorises directly over the
+        ``(3, rows, n)`` sample planes; replica rows are chunked so the
+        dominant ``3 n`` per-row index scratch stays under
+        ``batch_element_budget`` elements (different budgets consume
+        the stream differently, but always sample the same law).
+        """
+        opinions = np.ascontiguousarray(opinions)
+        num_rows, n = opinions.shape
+        out = np.empty_like(opinions)
+        for start, stop in iter_row_chunks(
+            num_rows, 3 * n, self.batch_element_budget
+        ):
+            ids = graph.sample_neighbors_batch(rng, 3, stop - start)
+            w = gather_neighbor_opinions_batch(opinions[start:stop], ids)
+            out[start:stop] = np.where(w[0] == w[1], w[0], w[2])
+        return out
 
     def single_vertex_law(
         self, alpha: np.ndarray, current_opinion: int

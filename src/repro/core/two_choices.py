@@ -35,6 +35,8 @@ import numpy as np
 from repro.core.base import (
     Dynamics,
     batch_multinomial_counts,
+    gather_neighbor_opinions_batch,
+    iter_row_chunks,
     multinomial_counts,
 )
 from repro.graphs.base import Graph
@@ -165,6 +167,31 @@ class TwoChoices(Dynamics):
         w1 = opinions[samples[:, 0]]
         w2 = opinions[samples[:, 1]]
         return np.where(w1 == w2, w1, opinions)
+
+    def agent_step_batch(
+        self,
+        opinions: np.ndarray,
+        graph: Graph,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """All R replicas: batched pair sample, keep own on disagreement.
+
+        Rows are chunked under ``batch_element_budget`` like the other
+        batched agent steps (the ``(2, rows, n)`` index scratch is the
+        dominant term); chunking never changes the sampled law, only
+        how the raw stream is consumed.
+        """
+        opinions = np.ascontiguousarray(opinions)
+        num_rows, n = opinions.shape
+        out = np.empty_like(opinions)
+        for start, stop in iter_row_chunks(
+            num_rows, 2 * n, self.batch_element_budget
+        ):
+            block = opinions[start:stop]
+            ids = graph.sample_neighbors_batch(rng, 2, stop - start)
+            w = gather_neighbor_opinions_batch(block, ids)
+            out[start:stop] = np.where(w[0] == w[1], w[0], block)
+        return out
 
     def single_vertex_law(
         self, alpha: np.ndarray, current_opinion: int

@@ -172,6 +172,17 @@ class UndecidedStateDynamics(Dynamics):
         counts = np.asarray(counts)
         return counts[:, :-1].max(axis=1) == counts.sum(axis=1)
 
+    def consensus_mask_agents(self, opinions: np.ndarray) -> np.ndarray:
+        """Agent-level convention: uniform on a *decided* label only.
+
+        A row uniformly holding the undecided label is absorbing but not
+        consensus — the batched graph engine keeps it running (it
+        surfaces as censored), matching the count-level rule.
+        """
+        opinions = np.asarray(opinions)
+        uniform = (opinions == opinions[:, :1]).all(axis=1)
+        return uniform & (opinions[:, 0] != self._undecided_label())
+
     def _undecided_label(self) -> int:
         if self.num_decided is not None:
             return int(self.num_decided)

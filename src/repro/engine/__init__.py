@@ -7,6 +7,8 @@
   ([CMRSS25] model);
 * :class:`BatchPopulationEngine` — R replicas as one vectorised
   ``(R, k)`` count matrix;
+* :class:`BatchAgentEngine` — R replicas of a graph chain as one
+  vectorised ``(R, n)`` opinion matrix;
 * :func:`run_until_consensus` / :func:`replicate` — run control;
 * :mod:`repro.engine.registry` — string-keyed engine registry; every
   engine above registers a spec runner plus capability flags, and the
@@ -14,6 +16,7 @@
 """
 
 from repro.engine.agent import AgentEngine
+from repro.engine.agent_batch import BatchAgentEngine
 from repro.engine.asynchronous import AsyncPopulationEngine
 from repro.engine.batch import BatchPopulationEngine
 from repro.engine.callbacks import (
@@ -54,6 +57,7 @@ from repro.state import (
 __all__ = [
     "AgentEngine",
     "AsyncPopulationEngine",
+    "BatchAgentEngine",
     "BatchPopulationEngine",
     "Engine",
     "EngineInfo",

@@ -11,7 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.adversary.base import Adversary, apply_corruption
+from repro.adversary.base import (
+    Adversary,
+    apply_corruption,
+    apply_count_delta,
+)
 from repro.core.base import Dynamics
 from repro.engine.registry import register_engine
 from repro.engine.runner import RunResult, replicate, run_spec_replica
@@ -108,29 +112,16 @@ class AgentEngine:
         return self.opinions
 
     def _apply_corruption(self) -> None:
-        """Corrupt on the count level, then lift back onto vertices."""
+        """Corrupt on the count level, then lift back onto vertices.
+
+        The lift itself — uniformly random holders of each losing
+        opinion reassigned to the gainers — is the shared
+        :func:`~repro.adversary.base.apply_count_delta`, so this engine
+        and the batched graph engine realise corruptions identically.
+        """
         counts = agents_to_counts(self.opinions, self.num_opinions)
         corrupted = apply_corruption(counts, self.adversary, self.rng)
-        delta = corrupted - counts
-        if not delta.any():
-            return
-        losers = np.flatnonzero(delta < 0)
-        victims = np.concatenate(
-            [
-                self.rng.choice(
-                    np.flatnonzero(self.opinions == opinion),
-                    size=int(-delta[opinion]),
-                    replace=False,
-                )
-                for opinion in losers
-            ]
-        )
-        gainers = np.flatnonzero(delta > 0)
-        new_labels = np.repeat(gainers, delta[gainers])
-        # Shuffle so victim->new-opinion pairing carries no positional
-        # bias when several opinions lose and several gain at once.
-        self.rng.shuffle(victims)
-        self.opinions[victims] = new_labels
+        apply_count_delta(self.opinions, corrupted - counts, self.rng)
 
     def run(self, rounds: int) -> np.ndarray:
         """Execute exactly ``rounds`` rounds (no early stopping)."""

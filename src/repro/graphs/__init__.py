@@ -8,10 +8,12 @@ the remaining families support the open-question experiments of Section
 from repro.graphs.base import AdjacencyGraph, Graph
 from repro.graphs.complete import CompleteGraph
 from repro.graphs.generators import (
+    GRAPH_FAMILIES,
     core_periphery,
     cycle_graph,
     erdos_renyi,
     from_networkx,
+    make_graph,
     random_regular,
     stochastic_block_model,
     torus_grid,
@@ -20,11 +22,13 @@ from repro.graphs.generators import (
 __all__ = [
     "AdjacencyGraph",
     "CompleteGraph",
+    "GRAPH_FAMILIES",
     "Graph",
     "core_periphery",
     "cycle_graph",
     "erdos_renyi",
     "from_networkx",
+    "make_graph",
     "random_regular",
     "stochastic_block_model",
     "torus_grid",

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import GraphError
-from repro.graphs.base import Graph
+from repro.graphs.base import Graph, vertex_id_dtype
 
 __all__ = ["CompleteGraph"]
 
@@ -72,6 +72,41 @@ class CompleteGraph(Graph):
             0, n - 1, size=(vertices.size, samples_per_vertex)
         )
         return draws + (draws >= vertices[:, None])
+
+    def sample_neighbors_batch(
+        self,
+        rng: np.random.Generator,
+        samples_per_vertex: int,
+        num_replicas: int,
+    ) -> np.ndarray:
+        """One bounded draw covers every replica (see :class:`Graph`).
+
+        With self-loops a neighbour sample is a uniform vertex, so the
+        whole ``(s, R, n)`` tensor is a single ``rng.integers`` call; the
+        loop-free variant shifts draws past each vertex's own index,
+        exactly as in :meth:`sample_neighbors`.  Labels are drawn in the
+        narrowest dtype holding a vertex id.
+        """
+        n = self.num_vertices
+        shape = (samples_per_vertex, num_replicas, n)
+        if self.self_loops:
+            return rng.integers(
+                0, n, size=shape, dtype=vertex_id_dtype(n)
+            )
+        draws = rng.integers(0, n - 1, size=shape, dtype=np.int64)
+        return draws + (draws >= np.arange(n, dtype=np.int64))
+
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialised dense CSR structure (O(n^2) memory; small n)."""
+        n = self.num_vertices
+        if self.self_loops:
+            indptr = np.arange(n + 1, dtype=np.int64) * n
+            indices = np.tile(np.arange(n, dtype=np.int64), n)
+            return indptr, indices
+        indptr = np.arange(n + 1, dtype=np.int64) * (n - 1)
+        grid = np.tile(np.arange(n, dtype=np.int64), (n, 1))
+        mask = ~np.eye(n, dtype=bool)
+        return indptr, grid[mask]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         suffix = "+loops" if self.self_loops else "-loops"

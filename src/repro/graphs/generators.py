@@ -19,13 +19,16 @@ import numpy as np
 
 from repro.seeding import RandomState, as_generator
 from repro.errors import GraphError
-from repro.graphs.base import AdjacencyGraph
+from repro.graphs.base import AdjacencyGraph, Graph
+from repro.graphs.complete import CompleteGraph
 
 __all__ = [
+    "GRAPH_FAMILIES",
     "core_periphery",
     "cycle_graph",
     "erdos_renyi",
     "from_networkx",
+    "make_graph",
     "random_regular",
     "stochastic_block_model",
     "torus_grid",
@@ -228,6 +231,76 @@ def core_periphery(
     edges = np.concatenate(chunks)
     return _edges_to_graph(
         n, edges, self_loops, f"core-periphery({core_size}+{periphery_size})"
+    )
+
+
+#: Graph families addressable by name from flat, JSON-serialisable
+#: parameters — the vocabulary shared by sweep grids and the CLI.
+GRAPH_FAMILIES = ("complete", "random-regular", "erdos-renyi", "cycle")
+
+
+def make_graph(
+    name: str,
+    num_vertices: int,
+    degree: int | None = None,
+    edge_probability: float | None = None,
+    seed: RandomState = None,
+    self_loops: bool = True,
+) -> Graph:
+    """Build a substrate from a family name plus flat parameters.
+
+    The declarative counterpart of calling a generator directly, keyed so
+    a graph sweep point (``graph``, ``degree``/``edge_probability``,
+    ``graph_seed``) or a CLI invocation maps onto one call.  Families:
+    ``complete`` (no extra parameters), ``random-regular`` (``degree``),
+    ``erdos-renyi`` (``edge_probability``) and ``cycle``.  Parameters a
+    family does not take are rejected rather than ignored — a sweep axis
+    over an inapplicable parameter would otherwise fabricate identical
+    substrates presented as different points.  Random families are
+    deterministic given ``seed`` — the same seed yields the same edge
+    set in any process (tested), so sweep cache entries stay
+    reproducible.
+    """
+
+    def reject_extraneous(*labelled) -> None:
+        extraneous = [
+            label for label, value in labelled if value is not None
+        ]
+        if extraneous:
+            raise GraphError(
+                f"graph family {name!r} does not take "
+                f"{', '.join(extraneous)}"
+            )
+
+    if name == "complete":
+        reject_extraneous(
+            ("degree", degree), ("edge_probability", edge_probability)
+        )
+        return CompleteGraph(num_vertices, self_loops=self_loops)
+    if name == "random-regular":
+        reject_extraneous(("edge_probability", edge_probability))
+        if degree is None:
+            raise GraphError("random-regular requires a degree")
+        return random_regular(
+            num_vertices, int(degree), seed=seed, self_loops=self_loops
+        )
+    if name == "erdos-renyi":
+        reject_extraneous(("degree", degree))
+        if edge_probability is None:
+            raise GraphError("erdos-renyi requires an edge_probability")
+        return erdos_renyi(
+            num_vertices,
+            float(edge_probability),
+            seed=seed,
+            self_loops=self_loops,
+        )
+    if name == "cycle":
+        reject_extraneous(
+            ("degree", degree), ("edge_probability", edge_probability)
+        )
+        return cycle_graph(num_vertices, self_loops=self_loops)
+    raise GraphError(
+        f"unknown graph family {name!r}; known: {sorted(GRAPH_FAMILIES)}"
     )
 
 

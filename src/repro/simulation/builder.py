@@ -123,14 +123,35 @@ class Simulation:
         return self.engine("population")
 
     def batch(self) -> "Simulation":
+        """Vectorised batch replication, substrate-aware.
+
+        On a graph workload — a graph was set, or :meth:`on_graph`
+        selected the agent engine — this resolves to the ``agent-batch``
+        engine, so ``on_graph(...).batch()`` batches the graph chain
+        instead of silently dropping the substrate; otherwise it is the
+        population-level ``batch`` engine.
+        """
+        if (
+            self._settings.get("graph") is not None
+            or self._settings.get("engine") == "agent"
+        ):
+            return self.engine("agent-batch")
         return self.engine("batch")
 
     def asynchronous(self) -> "Simulation":
         return self.engine("async")
 
     def on_graph(self, graph: Graph | None = None) -> "Simulation":
-        """Use the agent engine, optionally on a specific graph."""
+        """Use a graph-capable engine, optionally on a specific graph.
+
+        Selects the sequential ``agent`` engine — unless a batch engine
+        was already chosen, in which case the batched graph engine is
+        kept, so ``batch().on_graph(g)`` and ``on_graph(g).batch()``
+        resolve identically to ``agent-batch``.
+        """
         self._settings["graph"] = graph
+        if self._settings.get("engine") in ("batch", "agent-batch"):
+            return self.engine("agent-batch")
         return self.engine("agent")
 
     # ------------------------------------------------------------------

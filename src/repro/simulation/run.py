@@ -29,6 +29,12 @@ Engine semantics
     :class:`~repro.engine.batch.BatchPopulationEngine` — the same chain
     per replica (equal in distribution to ``population``, not bitwise),
     one vectorised hot loop overall.
+``agent-batch``
+    The graph counterpart of ``batch``: all R replicas advance as one
+    ``(R, n)`` opinion matrix on the shared substrate inside a
+    :class:`~repro.engine.agent_batch.BatchAgentEngine`, with vertex
+    identities shuffled independently per replica row (equal in
+    distribution to ``agent``, not bitwise).
 
 Every engine accepts a spec-level adversary (applied after each round,
 contract-checked); ``population``/``agent``/``batch`` accept a custom

@@ -104,10 +104,12 @@ class SimulationSpec:
     engine:
         Any engine registered in :mod:`repro.engine.registry`:
         ``"population"`` (exact count chain), ``"agent"`` (per-vertex on
-        a graph), ``"async"`` (one vertex per tick) or ``"batch"``
-        (vectorised multi-replica count matrix).
+        a graph), ``"async"`` (one vertex per tick), ``"batch"``
+        (vectorised multi-replica count matrix) or ``"agent-batch"``
+        (vectorised multi-replica opinion matrix on a graph).
     graph:
-        Substrate for the agent engine; defaults to the complete graph.
+        Substrate for the graph-capable engines (``agent`` /
+        ``agent-batch``); defaults to the complete graph.
     adversary:
         Optional F-bounded adversary ([GL18] model, paper Section 2.5)
         applied after every round: a strategy name
@@ -213,9 +215,15 @@ class SimulationSpec:
         # engine declares what it supports instead of being hard-coded
         # here.
         if self.graph is not None and not engine_info.supports_graph:
+            graph_capable = [
+                name
+                for name in available_engines()
+                if get_engine(name).supports_graph
+            ]
             raise ConfigurationError(
-                "a graph only makes sense with a graph-capable engine "
-                f"(e.g. 'agent'), got engine={self.engine!r}"
+                f"engine={self.engine!r} cannot run on a graph "
+                "substrate; graph-capable engines: "
+                f"{graph_capable}"
             )
         if self.target is not None and not engine_info.supports_target:
             raise ConfigurationError(

@@ -20,6 +20,7 @@ the point's parameters, so interrupted sweeps resume for free.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import itertools
 import json
@@ -31,10 +32,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.adversary import near_consensus_target
-from repro.engine import PopulationEngine, run_until_consensus
+from repro.engine import AgentEngine, PopulationEngine, run_until_consensus
 from repro.errors import ConfigurationError
+from repro.graphs import make_graph
 from repro.seeding import RandomState, spawn_generators
 from repro.simulation import SimulationSpec
+from repro.state import counts_to_agents
 
 __all__ = [
     "SweepPoint",
@@ -47,27 +50,71 @@ __all__ = [
 PointFunction = Callable[[Mapping, np.random.Generator], float]
 
 
+@functools.lru_cache(maxsize=32)
+def _cached_graph(name, n, degree, edge_probability, graph_seed):
+    """Memoised substrate construction for sweep points.
+
+    Every replica of a graph point (and every point sharing the
+    substrate dimension) sees the *same* deterministic edge set, so
+    rebuilding it per run would only burn generator time — at sweep
+    sizes the networkx-backed samplers can rival the simulation itself.
+    Keyed by the flat JSON-level parameters; each worker process keeps
+    its own cache.
+    """
+    return make_graph(
+        name,
+        n,
+        degree=degree,
+        edge_probability=edge_probability,
+        seed=graph_seed,
+    )
+
+
 def spec_from_params(params: Mapping) -> SimulationSpec:
     """Build a validated simulation spec from a flat grid-point dict.
 
     Recognised keys: ``dynamics`` (default ``"3-majority"``), ``n``,
     ``k``, ``initial`` (family name, default ``"balanced"``),
     ``initial_params`` (dict of family parameters), ``max_rounds``,
-    ``adversary`` (strategy name) and ``adversary_budget`` (per-round
-    F — a natural grid axis for tolerance sweeps).  All of them are
-    JSON-serialisable, so a point's spec is derivable from its cache
-    entry and — crucially for the point cache — adversarial points hash
-    to different keys than plain points, and different budgets to
-    different keys, because the full parameter dict is the cache key.
-    Validation happens here, eagerly, rather than deep inside a
+    ``adversary`` (strategy name), ``adversary_budget`` (per-round F —
+    a natural grid axis for tolerance sweeps), and the graph substrate
+    dimension: ``graph`` (a :data:`repro.graphs.GRAPH_FAMILIES` name),
+    ``degree`` (random-regular — the grid axis of "consensus time vs.
+    degree" studies), ``edge_probability`` (Erdős–Rényi) and
+    ``graph_seed`` (edge-set seed, default 0, kept separate from the
+    run seeds so every replica of a point sees the *same* substrate).
+    All of them are JSON-serialisable, so a point's spec is derivable
+    from its cache entry and — crucially for the point cache — points
+    with different substrates, strategies or budgets hash to different
+    keys, because the full parameter dict is the cache key.  Graph
+    points run on the ``agent`` engine (the point function measures one
+    replica at a time); non-graph points keep the exact population
+    chain.  Validation happens here, eagerly, rather than deep inside a
     half-finished sweep.
     """
+    graph = None
+    engine = "population"
+    if "graph" in params and params["graph"] != "complete":
+        graph = _cached_graph(
+            str(params["graph"]),
+            int(params["n"]),
+            int(params["degree"]) if "degree" in params else None,
+            (
+                float(params["edge_probability"])
+                if "edge_probability" in params
+                else None
+            ),
+            int(params.get("graph_seed", 0)),
+        )
+        engine = "agent"
     spec = SimulationSpec(
         dynamics=params.get("dynamics", "3-majority"),
         n=int(params["n"]),
         k=int(params["k"]),
         initial=params.get("initial", "balanced"),
         initial_params=params.get("initial_params", {}),
+        engine=engine,
+        graph=graph,
         max_rounds=(
             int(params["max_rounds"]) if "max_rounds" in params else None
         ),
@@ -87,9 +134,11 @@ def consensus_time_point(
     """Default point function: consensus time of one run.
 
     Builds a :class:`~repro.simulation.spec.SimulationSpec` via
-    :func:`spec_from_params` and measures a single population run on the
-    caller's stream.  Returns NaN when the round budget runs out, so
-    censored points are visible rather than silently dropped.
+    :func:`spec_from_params` and measures a single run on the caller's
+    stream — the exact population chain on the complete substrate, the
+    agent-level chain (shuffled vertex identities) on graph points.
+    Returns NaN when the round budget runs out, so censored points are
+    visible rather than silently dropped.
 
     Adversarial points (``adversary`` + ``adversary_budget`` in
     ``params``) run the corrupted chain; since an F >= 1 adversary can
@@ -104,12 +153,25 @@ def consensus_time_point(
     target = None
     if adversary is not None and adversary.budget > 0:
         target = near_consensus_target(spec.n, adversary.budget)
-    engine = PopulationEngine(
-        spec.resolved_dynamics(),
-        spec.initial_counts(),
-        seed=rng,
-        adversary=adversary,
-    )
+    if spec.graph is not None:
+        opinions = counts_to_agents(
+            spec.initial_counts(), rng=rng, shuffle=True
+        )
+        engine = AgentEngine(
+            spec.resolved_dynamics(),
+            spec.graph,
+            opinions,
+            num_opinions=spec.k,
+            seed=rng,
+            adversary=adversary,
+        )
+    else:
+        engine = PopulationEngine(
+            spec.resolved_dynamics(),
+            spec.initial_counts(),
+            seed=rng,
+            adversary=adversary,
+        )
     result = run_until_consensus(
         engine, max_rounds=spec.round_budget(), target=target
     )
