@@ -22,6 +22,7 @@ import time
 
 import numpy as np
 
+from conftest import write_bench_json
 from repro.adversary import (
     AdversarialPopulationEngine,
     SupportRunnerUp,
@@ -126,6 +127,15 @@ def test_adversarial_batch_speedup(benchmark):
         )
     )
     speedups = study["speedups"]
+    headline = next(row for row in study["rows"] if row[0] == 64)
+    write_bench_json(
+        "adversarial_batch",
+        speedup=speedups[64],
+        baseline_seconds=headline[1] / 1000.0,
+        optimised_seconds=headline[2] / 1000.0,
+        config={"R": 64, "n": N, "k": K, "F": BUDGET},
+        extra={"speedups": {str(r): round(s, 2) for r, s in speedups.items()}},
+    )
     # Headline acceptance: >= 3x at R = 64 over sequential
     # AdversarialPopulationEngine replication.  The R = 16 / R = 256
     # rows are reported for trend-watching but not asserted on — this

@@ -35,6 +35,7 @@ import time
 
 import numpy as np
 
+from conftest import write_bench_json
 from repro.analysis.tables import format_table
 from repro.configs import balanced
 from repro.core import Dynamics, ThreeMajority, TwoChoices, Voter
@@ -130,6 +131,16 @@ def test_agent_batch_speedup(benchmark):
                 f"random-regular d={DEGREE}+loops)"
             ),
         )
+    )
+    write_bench_json(
+        "agent_batch",
+        config={"R": REPLICAS, "n": N, "k": K, "degree": DEGREE},
+        extra={
+            "speedups": {
+                label: round(value, 2)
+                for label, value in study["speedups"].items()
+            }
+        },
     )
     for label, _factory, _budget, floor in CASES:
         assert study["speedups"][label] >= floor, (

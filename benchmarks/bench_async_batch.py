@@ -1,0 +1,145 @@
+"""Benchmark ``asyncbatch`` — vectorised asynchronous replication.
+
+The ``AsyncBatchPopulationEngine`` advances R asynchronous chains
+tick-by-tick in lockstep, sampling each tick's single-vertex update
+across every active row in one ``async_population_step_batch`` call.
+This benchmark guards the headline acceptance of that engine:
+
+* ``test_async_batch_replication_speedup`` — fixed-tick stepping
+  throughput of the batch engine against ``replicate`` over sequential
+  ``AsyncPopulationEngine`` runs at R = 64 (3-Majority, with the Voter
+  baseline for trend-watching).  Fixed ticks rather than
+  run-to-consensus keep the sequential baseline affordable in CI while
+  measuring the same per-tick hot path; the batch engine must win by
+  at least 10x at R = 64.
+* ``test_no_async_row_loop_fallback`` — fails if any catalogued
+  dynamics loses its ``async_population_step_batch`` override and
+  silently degrades to the base-class row loop.
+
+Run with:  pytest benchmarks/bench_async_batch.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import write_bench_json
+from repro.analysis.tables import format_table
+from repro.configs import balanced
+from repro.core import (
+    Dynamics,
+    ThreeMajority,
+    Voter,
+    available_dynamics,
+    make_dynamics,
+)
+from repro.engine import AsyncBatchPopulationEngine, AsyncPopulationEngine
+from repro.engine.runner import RunResult, replicate
+
+N = 256
+K = 8
+REPLICAS = 64
+TICKS = 600
+SPEEDUP_FLOOR = 10.0  # 3-Majority at R = 64
+
+
+def _sequential_seconds(dynamics, counts, replicas: int) -> float:
+    def one(rng: np.random.Generator) -> RunResult:
+        engine = AsyncPopulationEngine(dynamics, counts, seed=rng)
+        engine.run_ticks(TICKS)
+        return RunResult(
+            converged=False,
+            rounds=0,
+            winner=None,
+            final_counts=engine.counts,
+        )
+
+    started = time.perf_counter()
+    replicate(one, replicas, seed=0)
+    return time.perf_counter() - started
+
+
+def _batch_seconds(dynamics, counts, replicas: int) -> float:
+    engine = AsyncBatchPopulationEngine(
+        dynamics, counts, num_replicas=replicas, seed=0
+    )
+    started = time.perf_counter()
+    engine.run_ticks(TICKS)
+    return time.perf_counter() - started
+
+
+def _study() -> dict:
+    rows = []
+    measurements: dict[str, tuple[float, float, float]] = {}
+    for dynamics in (ThreeMajority(), Voter()):
+        counts = balanced(N, K)
+        seq_s = _sequential_seconds(dynamics, counts, REPLICAS)
+        batch_s = _batch_seconds(dynamics, counts, REPLICAS)
+        speedup = seq_s / batch_s
+        measurements[dynamics.name] = (seq_s, batch_s, speedup)
+        rows.append(
+            [
+                dynamics.name,
+                REPLICAS,
+                round(seq_s * 1000, 1),
+                round(batch_s * 1000, 1),
+                round(speedup, 1),
+            ]
+        )
+    return {"rows": rows, "measurements": measurements}
+
+
+def test_async_batch_replication_speedup(benchmark):
+    study = benchmark.pedantic(_study, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dynamics", "R", "sequential ms", "batch ms", "speedup"],
+            study["rows"],
+            title=(
+                f"Batched vs sequential asynchronous replication "
+                f"(n={N}, k={K}, {TICKS} ticks each)"
+            ),
+        )
+    )
+    seq_s, batch_s, speedup = study["measurements"]["3-majority"]
+    write_bench_json(
+        "async_batch",
+        speedup=speedup,
+        baseline_seconds=seq_s,
+        optimised_seconds=batch_s,
+        config={"R": REPLICAS, "n": N, "k": K, "ticks": TICKS},
+        extra={
+            "speedups": {
+                name: round(values[2], 2)
+                for name, values in study["measurements"].items()
+            }
+        },
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"3-majority async batch speedup {speedup:.1f}x fell below "
+        f"the {SPEEDUP_FLOOR:g}x floor at R={REPLICAS}"
+    )
+
+
+def test_no_async_row_loop_fallback(benchmark):
+    """Every catalogued dynamics must keep its vectorised override."""
+
+    def check() -> list[str]:
+        missing = []
+        for spec in list(available_dynamics()) + ["5-majority"]:
+            dynamics = make_dynamics(spec)
+            if (
+                type(dynamics).async_population_step_batch
+                is Dynamics.async_population_step_batch
+            ):
+                missing.append(spec)
+        return missing
+
+    missing = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert not missing, (
+        "these catalogued dynamics lost their vectorised "
+        f"async_population_step_batch override: {missing}"
+    )

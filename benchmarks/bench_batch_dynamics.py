@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from conftest import write_bench_json
 from repro.analysis.tables import format_table
 from repro.configs import balanced
 from repro.core import (
@@ -110,6 +111,16 @@ def test_batch_dynamics_speedup(benchmark):
                 f"(R={REPLICAS}, n={N:,}, k={K}, pre-consensus rounds)"
             ),
         )
+    )
+    write_bench_json(
+        "batch_dynamics",
+        config={"R": REPLICAS, "n": N, "k": K},
+        extra={
+            "speedups": {
+                label: round(value, 2)
+                for label, value in study["speedups"].items()
+            }
+        },
     )
     for label, _dynamics, _start, _rounds, floor in CASES:
         if floor is not None:

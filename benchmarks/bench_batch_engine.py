@@ -16,6 +16,7 @@ import time
 
 import numpy as np
 
+from conftest import write_bench_json
 from repro.analysis.tables import format_table
 from repro.configs import balanced
 from repro.core import ThreeMajority, TwoChoices
@@ -103,6 +104,24 @@ def test_batch_replication_speedup(benchmark):
         )
     )
     speedups = study["speedups"]
+    headline = next(
+        row
+        for row in study["rows"]
+        if row[0] == "3-majority" and row[1] == 64
+    )
+    write_bench_json(
+        "batch_engine",
+        speedup=speedups[("3-majority", 64)],
+        baseline_seconds=headline[2] / 1000.0,
+        optimised_seconds=headline[3] / 1000.0,
+        config={"R": 64, "n": N, "k": K},
+        extra={
+            "speedups": {
+                f"{name}/R={replicas}": round(value, 2)
+                for (name, replicas), value in speedups.items()
+            }
+        },
+    )
     # Headline acceptance: >= 3x at R = 64 for the closed-form dynamics.
     assert speedups[("3-majority", 64)] >= 3.0, speedups
     # The advantage must grow with R, not flatten into constant overhead.

@@ -1,0 +1,92 @@
+"""Benchmark ``sweepbatch`` — batch-first sweep measurement end-to-end.
+
+``run_sweep`` measures a grid point's ``num_runs`` replicas in one
+vectorised engine by default (``measure="batch"``) instead of one
+sequential engine per replica stream.  This benchmark runs the same
+small multi-point grid through both measurement modes — the full
+driver, including spec construction, seeding and aggregation, not just
+the engine hot loop — and asserts the end-to-end headline: batched
+measurement at least 3x faster wall-clock.
+
+The two modes sample the same chains (equal in distribution; the sweep
+regression tests KS-check it), so the benchmark also sanity-checks that
+the per-point medians stay within a loose band of each other.
+
+Run with:  pytest benchmarks/bench_sweep_batch.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_bench_json
+from repro.analysis.tables import format_table
+from repro.sweep import SweepSpec, run_sweep
+
+GRID = {"n": [16_384, 65_536], "k": [16, 64]}
+NUM_RUNS = 32
+SPEEDUP_FLOOR = 3.0
+
+
+def _sweep_seconds(measure: str) -> tuple[float, list]:
+    spec = SweepSpec(
+        grid=dict(GRID), fixed={"dynamics": "3-majority"},
+        num_runs=NUM_RUNS, seed=0,
+    )
+    started = time.perf_counter()
+    points = run_sweep(spec, measure=measure)
+    return time.perf_counter() - started, points
+
+
+def _study() -> dict:
+    sequential_s, sequential_points = _sweep_seconds("sequential")
+    batch_s, batch_points = _sweep_seconds("batch")
+    rows = [
+        [
+            point.params["n"],
+            point.params["k"],
+            point.median,
+            batch.median,
+        ]
+        for point, batch in zip(sequential_points, batch_points)
+    ]
+    return {
+        "sequential_s": sequential_s,
+        "batch_s": batch_s,
+        "speedup": sequential_s / batch_s,
+        "rows": rows,
+    }
+
+
+def test_sweep_batch_measurement_speedup(benchmark):
+    study = benchmark.pedantic(_study, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["n", "k", "sequential median T", "batch median T"],
+            study["rows"],
+            title=(
+                f"Sweep grid {GRID} x {NUM_RUNS} runs: "
+                f"sequential {study['sequential_s'] * 1000:.0f} ms vs "
+                f"batch {study['batch_s'] * 1000:.0f} ms "
+                f"({study['speedup']:.1f}x)"
+            ),
+        )
+    )
+    write_bench_json(
+        "sweep_batch",
+        speedup=study["speedup"],
+        baseline_seconds=study["sequential_s"],
+        optimised_seconds=study["batch_s"],
+        config={"grid": GRID, "num_runs": NUM_RUNS},
+    )
+    assert study["speedup"] >= SPEEDUP_FLOOR, (
+        f"batched sweep measurement {study['speedup']:.1f}x fell below "
+        f"the {SPEEDUP_FLOOR:g}x end-to-end floor"
+    )
+    # Same chains, different streams: medians must stay in one loose
+    # band (the sweep test suite carries the strict KS regression).
+    for n, k, seq_median, batch_median in study["rows"]:
+        assert abs(seq_median - batch_median) <= 0.5 * max(
+            seq_median, batch_median
+        ), (n, k, seq_median, batch_median)

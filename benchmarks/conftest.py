@@ -8,11 +8,23 @@ rows/series the paper reports, saves them as CSV under
 "who wins / by what factor / where's the crossover" checks — so that a
 benchmark run doubles as a reproduction audit.
 
+Every benchmark also emits a machine-readable
+``benchmarks/out/BENCH_<name>.json`` via :func:`write_bench_json` —
+speedup, baseline/optimised seconds, the size config and the git SHA —
+so the perf trajectory across PRs lives in uploadable CI artefacts
+instead of only in the job logs.  The experiment-regeneration benches
+get theirs from the :func:`regenerate` fixture (elapsed seconds +
+verdicts); the speedup benches call the helper with their measured
+baseline/optimised split.
+
 Run with:  ``pytest benchmarks/ --benchmark-only``
 """
 
 from __future__ import annotations
 
+import json
+import subprocess
+import time
 from pathlib import Path
 
 import pytest
@@ -23,6 +35,63 @@ from repro.experiments.registry import run_experiment
 OUT_DIR = Path(__file__).parent / "out"
 
 
+def _git_sha() -> str | None:
+    """Current commit SHA, or None outside a git checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            ).stdout.strip()
+            or None
+        )
+    except Exception:
+        return None
+
+
+def write_bench_json(
+    name: str,
+    *,
+    speedup: float | None = None,
+    baseline_seconds: float | None = None,
+    optimised_seconds: float | None = None,
+    config: dict | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Write ``benchmarks/out/BENCH_<name>.json`` and return its path.
+
+    One JSON document per benchmark: the headline ``speedup`` with
+    its ``baseline_seconds``/``optimised_seconds`` split (None-valued
+    fields are simply absent), the size ``config`` (R/n/k and friends),
+    any benchmark-specific payload nested under ``extra`` (nested, not
+    merged, so an extra key can never clobber a headline field), and
+    the ``git_sha`` the numbers were measured at — everything a
+    cross-PR perf tracker needs to plot a trajectory without parsing
+    CI logs.
+    """
+    payload: dict = {"name": name, "git_sha": _git_sha()}
+    if speedup is not None:
+        payload["speedup"] = round(float(speedup), 3)
+    if baseline_seconds is not None:
+        payload["baseline_seconds"] = round(float(baseline_seconds), 6)
+    if optimised_seconds is not None:
+        payload["optimised_seconds"] = round(
+            float(optimised_seconds), 6
+        )
+    if config:
+        payload["config"] = dict(config)
+    if extra:
+        payload["extra"] = dict(extra)
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
 @pytest.fixture
 def regenerate(benchmark):
     """Run one experiment under the benchmark timer and audit its shape.
@@ -30,10 +99,13 @@ def regenerate(benchmark):
     Returns the :class:`~repro.experiments.base.ExperimentResult`.  The
     shape audit fails the benchmark only on hard ``mismatch`` verdicts;
     ``partial`` verdicts (expected at quick-preset sizes where polylog
-    factors are fat) are reported but tolerated.
+    factors are fat) are reported but tolerated.  Every regeneration
+    also lands a ``BENCH_<experiment_id>.json`` (elapsed seconds,
+    preset, verdict summary) next to the CSV.
     """
 
     def _run(experiment_id: str, preset: str = "quick", seed: int = 0):
+        started = time.perf_counter()
         result = benchmark.pedantic(
             run_experiment,
             args=(experiment_id,),
@@ -41,11 +113,22 @@ def regenerate(benchmark):
             rounds=1,
             iterations=1,
         )
+        elapsed = time.perf_counter() - started
         print()
         print(result.table())
         if result.comparisons:
             print(render_comparisons_markdown(result.comparisons))
         result.save_csv(OUT_DIR)
+        write_bench_json(
+            experiment_id,
+            optimised_seconds=elapsed,
+            config={"preset": preset, "seed": seed},
+            extra={
+                "verdicts": [
+                    c.verdict for c in result.comparisons
+                ],
+            },
+        )
         mismatches = [
             c for c in result.comparisons if c.verdict == "mismatch"
         ]

@@ -6,6 +6,11 @@ asynchronous bound of ~O(min(kn, n^1.5)) ticks suggested the synchronous
 heuristic, not a theorem — this example measures how well it holds on
 actual runs, k by k.
 
+Both sides replicate batched: all RUNS asynchronous chains of a k-point
+advance tick-by-tick in lockstep inside one
+``AsyncBatchPopulationEngine``, and the synchronous side runs all RUNS
+replicas as one ``(R, k)`` matrix in a ``BatchPopulationEngine``.
+
 Run:  python examples/async_vs_sync.py
 """
 
@@ -14,14 +19,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    AsyncPopulationEngine,
-    PopulationEngine,
+    AsyncBatchPopulationEngine,
+    BatchPopulationEngine,
     ThreeMajority,
-    run_until_consensus,
 )
 from repro.analysis import format_table
 from repro.configs import balanced
-from repro.seeding import spawn_generators
 
 N = 1_024
 KS = (2, 4, 8, 16, 32)
@@ -32,21 +35,24 @@ SEED = 17
 def main() -> None:
     rows = []
     for k in KS:
-        async_ticks = []
-        sync_rounds = []
-        for idx, rng in enumerate(spawn_generators((SEED, k), RUNS)):
-            engine = AsyncPopulationEngine(
-                ThreeMajority(), balanced(N, k), seed=rng
-            )
-            ticks = engine.run_until_consensus(max_ticks=50_000_000)
-            if ticks is not None:
-                async_ticks.append(ticks)
-            pop = PopulationEngine(
-                ThreeMajority(), balanced(N, k), seed=(SEED, k, idx)
-            )
-            result = run_until_consensus(pop, max_rounds=100_000)
-            if result.converged:
-                sync_rounds.append(result.rounds)
+        async_engine = AsyncBatchPopulationEngine(
+            ThreeMajority(), balanced(N, k), num_replicas=RUNS,
+            seed=(SEED, k),
+        )
+        async_ticks = [
+            r.metrics["ticks"]
+            for r in async_engine.run_until_consensus(50_000_000)
+            if r.converged
+        ]
+        sync_engine = BatchPopulationEngine(
+            ThreeMajority(), balanced(N, k), num_replicas=RUNS,
+            seed=(SEED, k, 1),
+        )
+        sync_rounds = [
+            r.rounds
+            for r in sync_engine.run_until_consensus(100_000)
+            if r.converged
+        ]
         ticks_median = float(np.median(async_ticks))
         sync_median = float(np.median(sync_rounds))
         rows.append(

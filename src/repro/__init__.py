@@ -68,6 +68,7 @@ from repro.core import (
 )
 from repro.engine import (
     AgentEngine,
+    AsyncBatchPopulationEngine,
     AsyncPopulationEngine,
     BatchAgentEngine,
     BatchPopulationEngine,
@@ -104,6 +105,7 @@ __all__ = [
     "Adversary",
     "AgentEngine",
     "ApproximateMajority",
+    "AsyncBatchPopulationEngine",
     "AsyncPopulationEngine",
     "BatchAgentEngine",
     "BatchPopulationEngine",

@@ -29,12 +29,19 @@ Subcommands
     one (``async``) measure strict consensus and say so.
 ``sweep --n N [N...] --k K [K...] [--dynamics D [D...]] [...]``
     Cached consensus-time sweep over the (dynamics, n, k) grid, with
-    optional process-parallel workers.  ``--graph random-regular
+    optional process-parallel workers.  Measurement is batch-first: a
+    point's replicas run in one vectorised engine
+    (``batch``/``agent-batch``/``async-batch``) unless ``--measure
+    sequential`` asks for the historical one-run-per-replica path;
+    ``--chain async`` sweeps the one-vertex-per-tick [CMRSS25] chain
+    instead of the synchronous one.  ``--graph random-regular
     --degree 4 8 16`` adds a graph-density grid axis (the "consensus
     time vs. degree" workload family); ``--adversary NAME
     --adversary-budget F [F...]`` adds the adversary to every point
     (several budgets form a tolerance-sweep grid axis).  Points cache
-    under distinct keys per substrate, strategy and budget.
+    under distinct keys per substrate, chain, strategy, budget *and*
+    measurement mode — batched values are never read from (or written
+    over) old sequential caches.
 ``dynamics``
     List the registered dynamics specs.
 ``engines``
@@ -247,6 +254,27 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process-parallel point evaluation (default sequential)",
+    )
+    sweep_parser.add_argument(
+        "--measure",
+        default="batch",
+        choices=("batch", "sequential"),
+        help=(
+            "how a point's replicas are measured: 'batch' (default; "
+            "one vectorised batch/agent-batch/async-batch engine run "
+            "per point) or 'sequential' (one run per replica stream); "
+            "the two cache under distinct keys"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--chain",
+        default="sync",
+        choices=("sync", "async"),
+        help=(
+            "chain family to measure: the synchronous round-based "
+            "chain (default) or the one-vertex-per-tick [CMRSS25] "
+            "chain, reported in synchronous-equivalent rounds"
+        ),
     )
     return parser
 
@@ -510,6 +538,13 @@ def _sweep(args) -> int:
     graph_sweep = args.graph is not None
     adversarial = args.adversary is not None
     try:
+        if args.chain == "async":
+            if graph_sweep:
+                raise ConfigurationError(
+                    "--chain async runs on the complete graph; drop "
+                    "--graph or use --chain sync"
+                )
+            fixed["engine"] = "async"
         if graph_sweep:
             fixed["graph"] = args.graph
             fixed["graph_seed"] = args.graph_seed
@@ -543,7 +578,10 @@ def _sweep(args) -> int:
         )
         started = time.perf_counter()
         points = run_sweep(
-            spec, cache_dir=args.cache, workers=args.workers
+            spec,
+            cache_dir=args.cache,
+            workers=args.workers,
+            measure=args.measure,
         )
     except (ConfigurationError, GraphError) as exc:
         # GraphError surfaces from substrate construction inside the
@@ -577,6 +615,12 @@ def _sweep(args) -> int:
         f"{args.runs} runs each, seed={args.seed}"
         + (f", adversary={args.adversary}" if adversarial else "")
         + (f", graph={args.graph}" if graph_sweep else "")
+        + (", chain=async" if args.chain == "async" else "")
+        + (
+            ", measure=sequential"
+            if args.measure == "sequential"
+            else ""
+        )
         + ")"
     )
     print(format_table(headers, rows, title=title))

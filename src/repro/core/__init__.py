@@ -11,10 +11,12 @@ from repro.core.base import (
     BATCH_ELEMENT_BUDGET,
     Dynamics,
     batch_binomial,
+    batch_categorical,
     batch_multinomial_counts,
     gather_neighbor_opinions_batch,
     iter_row_chunks,
     multinomial_counts,
+    sample_holders_batch,
     sample_opinions_from_counts,
     sample_opinions_from_counts_batch,
 )
@@ -37,11 +39,13 @@ __all__ = [
     "Voter",
     "available_dynamics",
     "batch_binomial",
+    "batch_categorical",
     "batch_multinomial_counts",
     "gather_neighbor_opinions_batch",
     "iter_row_chunks",
     "make_dynamics",
     "multinomial_counts",
+    "sample_holders_batch",
     "sample_opinions_from_counts",
     "sample_opinions_from_counts_batch",
     "three_majority_law",

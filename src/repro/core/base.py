@@ -43,10 +43,12 @@ __all__ = [
     "BATCH_ELEMENT_BUDGET",
     "Dynamics",
     "batch_binomial",
+    "batch_categorical",
     "batch_multinomial_counts",
     "gather_neighbor_opinions_batch",
     "iter_row_chunks",
     "multinomial_counts",
+    "sample_holders_batch",
     "sample_opinions_from_counts",
     "sample_opinions_from_counts_batch",
 ]
@@ -219,6 +221,70 @@ def sample_opinions_from_counts_batch(
         per_label.reshape(-1),
     )
     return rng.permuted(labels.reshape(num_rows, num_samples), axis=1)
+
+
+def sample_holders_batch(
+    counts: np.ndarray,
+    num_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Opinions of uniformly random vertices, one draw set per row.
+
+    Returns an ``(R, num_samples)`` label matrix whose row ``r`` holds
+    i.i.d. opinions of uniformly random vertices of replica ``r`` — the
+    few-samples counterpart of :func:`sample_opinions_from_counts_batch`
+    used by the per-tick asynchronous batch steps, where each row needs
+    only a handful of draws and a multinomial + shuffle would be
+    overkill.
+
+    Sampling is integer-exact (inverse CDF over the *integer* cumulative
+    counts): a label with count 0 has an empty cdf step and can never be
+    selected, so draws meant to pick an existing vertex (e.g. the
+    updating vertex of an asynchronous tick) never land on a dead
+    opinion — which matters, because decrementing a zero count would
+    corrupt the configuration.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    cdf = counts.cumsum(axis=1)
+    u = rng.integers(
+        0, cdf[:, -1:], size=(counts.shape[0], num_samples)
+    )
+    # searchsorted(cdf, u, side="right") per row, vectorised: label j is
+    # selected iff cdf[j-1] <= u < cdf[j], i.e. exactly u falls in j's
+    # block of the 0..n-1 vertex range.
+    return (cdf[:, None, :] <= u[:, :, None]).sum(axis=2)
+
+
+def batch_categorical(
+    probabilities: np.ndarray,
+    rng: np.random.Generator,
+    dynamics: str = "",
+) -> np.ndarray:
+    """One categorical draw per row of an ``(R, k)`` probability matrix.
+
+    The single-draw counterpart of :func:`batch_multinomial_counts`
+    (same defensive row-sum validation, same error reporting), used by
+    the asynchronous batch steps to sample each replica's updating
+    vertex's *next* opinion from its closed-form law in one vectorised
+    inverse-CDF pass.  Rows are renormalised implicitly: the uniform
+    variate is scaled by the row total, so round-off in the law never
+    biases the draw.
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    totals = p.sum(axis=1)
+    bad = ~((totals > 0.999999) & (totals < 1.000001))
+    if bad.any():
+        row = int(np.flatnonzero(bad)[0])
+        raise StateError(
+            f"transition probabilities in replica row {row} sum to "
+            f"{totals[row]!r}, expected 1 (probability matrix shape "
+            f"{p.shape}" + (f", dynamics {dynamics!r})" if dynamics else ")")
+        )
+    cdf = np.cumsum(p, axis=1)
+    # rng.random() < 1 strictly, so u < cdf[:, -1] and the index stays
+    # in range without clipping.
+    u = rng.random(p.shape[0]) * cdf[:, -1]
+    return (cdf <= u[:, None]).sum(axis=1)
 
 
 def gather_neighbor_opinions_batch(
@@ -411,6 +477,33 @@ class Dynamics(abc.ABC):
         if new != old:
             counts[old] -= 1
             counts[new] += 1
+        return counts
+
+    def async_population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One asynchronous tick for each of R independent replicas.
+
+        ``counts`` is an ``(R, k)`` int64 matrix, one replica per row;
+        in every row a single uniformly random vertex re-samples its
+        opinion (the same law as :meth:`async_population_step`, applied
+        row-wise).  The matrix is updated in place and returned — the
+        per-tick hot path of
+        :class:`~repro.engine.async_batch.AsyncBatchPopulationEngine`.
+
+        The base implementation loops :meth:`async_population_step`
+        over rows (correct for any dynamics with a single-vertex law,
+        no speedup).  Every catalogued dynamics overrides it with a
+        vectorised sampler built on :func:`sample_holders_batch` (the
+        updating vertex and any sampled neighbours are integer-exact
+        draws from each row's counts) plus either the combination rule
+        applied label-wise or one :func:`batch_categorical` draw from
+        the closed-form law; ``benchmarks/bench_async_batch.py`` guards
+        the overrides and tracks the speedup.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        for row in counts:
+            self.async_population_step(row, rng)
         return counts
 
     def single_vertex_law(

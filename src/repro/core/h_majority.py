@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.base import (
     Dynamics,
     iter_row_chunks,
+    sample_holders_batch,
     sample_opinions_from_counts,
     sample_opinions_from_counts_batch,
 )
@@ -163,6 +164,29 @@ class HMajority(Dynamics):
     ) -> np.ndarray:
         samples = opinions[graph.sample_neighbors(rng, self.h)]
         return majority_winners(samples, rng)
+
+    def async_population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One asynchronous tick across all R replica rows at once.
+
+        Per row: the updating vertex's opinion plus its ``h`` neighbour
+        samples (integer-exact draws) reduced by the shared
+        :func:`majority_winners` pass.  Sampling the majority directly
+        is distribution-equal to the exact enumerated law of
+        :meth:`single_vertex_law` but has no support-size/h ceiling, so
+        — unlike the sequential asynchronous step, which inherits that
+        law's ``NotImplementedError`` guard — the batched tick works
+        for any ``h`` and any support.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        draws = sample_holders_batch(counts, self.h + 1, rng)
+        old = draws[:, 0]
+        new = majority_winners(draws[:, 1:], rng)
+        rows = np.arange(counts.shape[0])
+        counts[rows, old] -= 1
+        counts[rows, new] += 1
+        return counts
 
     def single_vertex_law(
         self, alpha: np.ndarray, current_opinion: int

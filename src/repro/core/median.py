@@ -20,6 +20,7 @@ from repro.core.base import (
     Dynamics,
     batch_multinomial_counts,
     iter_row_chunks,
+    sample_holders_batch,
     sample_opinions_from_counts,
 )
 from repro.graphs.base import Graph
@@ -140,6 +141,25 @@ class MedianRule(Dynamics):
         pmf = np.diff(np.concatenate([[0.0], med_cdf]))
         # Clip tiny negatives from floating-point cancellation.
         return np.clip(pmf, 0.0, None)
+
+    def async_population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One asynchronous tick across all R replica rows at once.
+
+        Per row: the updating vertex's opinion plus two i.i.d.
+        neighbour opinions (three integer-exact draws) combined with the
+        vectorised median-of-three — exactly the law
+        :meth:`single_vertex_law` closes over.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        draws = sample_holders_batch(counts, 3, rng)
+        old = draws[:, 0]
+        new = _median_of_three(old, draws[:, 1], draws[:, 2])
+        rows = np.arange(counts.shape[0])
+        counts[rows, old] -= 1
+        counts[rows, new] += 1
+        return counts
 
     def expected_alpha_next(self, alpha: np.ndarray) -> np.ndarray:
         """Exact mean by mixing :meth:`single_vertex_law` over groups."""

@@ -27,10 +27,12 @@ import numpy as np
 
 from repro.core.base import (
     Dynamics,
+    batch_categorical,
     batch_multinomial_counts,
     gather_neighbor_opinions_batch,
     iter_row_chunks,
     multinomial_counts,
+    sample_holders_batch,
 )
 from repro.graphs.base import Graph
 
@@ -148,6 +150,30 @@ class ThreeMajority(Dynamics):
         if new != old:
             counts[old] -= 1
             counts[new] += 1
+        return counts
+
+    def async_population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One asynchronous tick across all R replica rows at once.
+
+        The new opinion is independent of the current one (eq. (5)), so
+        each row needs exactly two draws: the updating vertex's current
+        opinion (integer-exact from the row's counts) and its next
+        opinion (one batched categorical from the row's closed-form
+        law).  Dead opinions keep probability 0, so the full-width law
+        is exact without per-row support tracking.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        totals = counts.sum(axis=1)
+        old = sample_holders_batch(counts, 1, rng)[:, 0]
+        alpha = counts / totals[:, None]
+        gamma = np.einsum("rk,rk->r", alpha, alpha)
+        law = alpha * (1.0 + alpha - gamma[:, None])
+        new = batch_categorical(law, rng, self.name)
+        rows = np.arange(counts.shape[0])
+        counts[rows, old] -= 1
+        counts[rows, new] += 1
         return counts
 
     def expected_alpha_next(self, alpha: np.ndarray) -> np.ndarray:

@@ -38,6 +38,7 @@ from repro.core.base import (
     gather_neighbor_opinions_batch,
     iter_row_chunks,
     multinomial_counts,
+    sample_holders_batch,
 )
 from repro.graphs.base import Graph
 
@@ -197,6 +198,26 @@ class TwoChoices(Dynamics):
         self, alpha: np.ndarray, current_opinion: int
     ) -> np.ndarray:
         return two_choices_law(alpha, current_opinion)
+
+    def async_population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One asynchronous tick across all R replica rows at once.
+
+        Per row: sample the updating vertex's opinion and its two
+        neighbours' (three integer-exact draws) and apply the
+        combination rule directly — adopt the pair's common opinion,
+        else keep the own one.  This samples eq. (6) exactly without
+        materialising the per-row law.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        draws = sample_holders_batch(counts, 3, rng)
+        old, w1, w2 = draws[:, 0], draws[:, 1], draws[:, 2]
+        new = np.where(w1 == w2, w1, old)
+        rows = np.arange(counts.shape[0])
+        counts[rows, old] -= 1
+        counts[rows, new] += 1
+        return counts
 
     def expected_alpha_next(self, alpha: np.ndarray) -> np.ndarray:
         """Lemma 4.1(i): identical closed form to 3-Majority.

@@ -40,6 +40,7 @@ from repro.core.base import (
     batch_binomial,
     batch_multinomial_counts,
     multinomial_counts,
+    sample_holders_batch,
 )
 from repro.errors import ConfigurationError, StateError
 from repro.graphs.base import Graph
@@ -209,6 +210,35 @@ class UndecidedStateDynamics(Dynamics):
         result[undecided_now] = seen[undecided_now]
         result[clash] = undecided
         return result
+
+    def async_population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One asynchronous tick across all R replica rows at once.
+
+        Count vectors use the population-level convention (last label =
+        undecided).  Per row: sample the updating vertex's state and one
+        neighbour's (two integer-exact draws) and apply the USD rule —
+        an undecided vertex adopts what it sees; a decided one stays put
+        on seeing its own opinion or an undecided vertex, and goes
+        undecided on any decided clash.  Exactly
+        :meth:`single_vertex_law`, sampled without materialising it.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        undecided = counts.shape[1] - 1
+        draws = sample_holders_batch(counts, 2, rng)
+        old, seen = draws[:, 0], draws[:, 1]
+        new = np.where(
+            old == undecided,
+            seen,
+            np.where(
+                (seen == old) | (seen == undecided), old, undecided
+            ),
+        )
+        rows = np.arange(counts.shape[0])
+        counts[rows, old] -= 1
+        counts[rows, new] += 1
+        return counts
 
     def single_vertex_law(
         self, alpha: np.ndarray, current_opinion: int

@@ -18,6 +18,7 @@ from repro.core.base import (
     gather_neighbor_opinions_batch,
     iter_row_chunks,
     multinomial_counts,
+    sample_holders_batch,
 )
 from repro.graphs.base import Graph
 
@@ -91,6 +92,22 @@ class Voter(Dynamics):
         self, alpha: np.ndarray, current_opinion: int
     ) -> np.ndarray:
         return np.asarray(alpha, dtype=np.float64).copy()
+
+    def async_population_step_batch(
+        self, counts: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One asynchronous tick across all R replica rows at once.
+
+        Per row, the updating vertex and the neighbour it copies are
+        two i.i.d. uniformly random vertices — one integer-exact
+        two-sample draw from the row's counts.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        pair = sample_holders_batch(counts, 2, rng)
+        rows = np.arange(counts.shape[0])
+        counts[rows, pair[:, 0]] -= 1
+        counts[rows, pair[:, 1]] += 1
+        return counts
 
     def expected_alpha_next(self, alpha: np.ndarray) -> np.ndarray:
         """The voter fractions are a martingale: ``E[alpha_t] = alpha``."""

@@ -5,6 +5,8 @@
 * :class:`AgentEngine` — per-vertex chain on arbitrary graphs;
 * :class:`AsyncPopulationEngine` — one-vertex-per-tick chain
   ([CMRSS25] model);
+* :class:`AsyncBatchPopulationEngine` — R asynchronous chains advanced
+  tick-by-tick in lockstep as one vectorised ``(R, k)`` count matrix;
 * :class:`BatchPopulationEngine` — R replicas as one vectorised
   ``(R, k)`` count matrix;
 * :class:`BatchAgentEngine` — R replicas of a graph chain as one
@@ -17,6 +19,7 @@
 
 from repro.engine.agent import AgentEngine
 from repro.engine.agent_batch import BatchAgentEngine
+from repro.engine.async_batch import AsyncBatchPopulationEngine
 from repro.engine.asynchronous import AsyncPopulationEngine
 from repro.engine.batch import BatchPopulationEngine
 from repro.engine.callbacks import (
@@ -56,6 +59,7 @@ from repro.state import (
 
 __all__ = [
     "AgentEngine",
+    "AsyncBatchPopulationEngine",
     "AsyncPopulationEngine",
     "BatchAgentEngine",
     "BatchPopulationEngine",

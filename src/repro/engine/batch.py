@@ -54,7 +54,51 @@ from repro.errors import ConfigurationError, ConsensusNotReached
 from repro.seeding import RandomState, as_generator
 from repro.state import validate_counts
 
-__all__ = ["BatchPopulationEngine"]
+__all__ = ["BatchPopulationEngine", "build_replica_matrix"]
+
+
+def build_replica_matrix(
+    counts: np.ndarray, num_replicas: int | None
+) -> np.ndarray:
+    """Normalise a batch engine's start into an ``(R, k)`` count matrix.
+
+    Accepts either a 1-D configuration (tiled ``num_replicas`` times) or
+    an explicit ``(R, k)`` matrix (validated row-wise, ``num_replicas``
+    optional but checked when given); every row must carry the same
+    total mass.  Shared by the synchronous and asynchronous batch
+    engines so both accept starts in exactly the same shapes.
+    """
+    arr = np.asarray(counts)
+    if arr.ndim == 1:
+        if num_replicas is None:
+            raise ConfigurationError(
+                "num_replicas is required when counts is a single "
+                "1-D configuration"
+            )
+        if num_replicas < 1:
+            raise ConfigurationError(
+                f"num_replicas must be at least 1, got {num_replicas}"
+            )
+        base = validate_counts(arr)
+        return np.tile(base, (int(num_replicas), 1))
+    if arr.ndim == 2:
+        rows = [validate_counts(row) for row in arr]
+        if num_replicas is not None and num_replicas != len(rows):
+            raise ConfigurationError(
+                f"counts has {len(rows)} rows but num_replicas="
+                f"{num_replicas}"
+            )
+        matrix = np.stack(rows)
+        totals = matrix.sum(axis=1)
+        if (totals != totals[0]).any():
+            raise ConfigurationError(
+                "every replica row must have the same total mass; "
+                f"got row sums {np.unique(totals).tolist()}"
+            )
+        return matrix
+    raise ConfigurationError(
+        f"counts must be 1-D or (R, k), got shape {arr.shape}"
+    )
 
 
 class BatchPopulationEngine:
@@ -133,37 +177,7 @@ class BatchPopulationEngine:
         self.dynamics = dynamics
         self.adversary = adversary
         self.target = target
-        arr = np.asarray(counts)
-        if arr.ndim == 1:
-            if num_replicas is None:
-                raise ConfigurationError(
-                    "num_replicas is required when counts is a single "
-                    "1-D configuration"
-                )
-            if num_replicas < 1:
-                raise ConfigurationError(
-                    f"num_replicas must be at least 1, got {num_replicas}"
-                )
-            base = validate_counts(arr)
-            self.counts = np.tile(base, (int(num_replicas), 1))
-        elif arr.ndim == 2:
-            rows = [validate_counts(row) for row in arr]
-            if num_replicas is not None and num_replicas != len(rows):
-                raise ConfigurationError(
-                    f"counts has {len(rows)} rows but num_replicas="
-                    f"{num_replicas}"
-                )
-            self.counts = np.stack(rows)
-            totals = self.counts.sum(axis=1)
-            if (totals != totals[0]).any():
-                raise ConfigurationError(
-                    "every replica row must have the same total mass; "
-                    f"got row sums {np.unique(totals).tolist()}"
-                )
-        else:
-            raise ConfigurationError(
-                f"counts must be 1-D or (R, k), got shape {arr.shape}"
-            )
+        self.counts = build_replica_matrix(counts, num_replicas)
         self.num_replicas = int(self.counts.shape[0])
         self.num_opinions = int(self.counts.shape[1])
         self.num_vertices = int(self.counts[0].sum())

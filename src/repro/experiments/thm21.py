@@ -78,12 +78,15 @@ def run(preset: str = "quick", seed: int = 0) -> ExperimentResult:
             gamma0 = gamma_from_counts(counts)
             budget = int(params["budget_factor"] * log_n / gamma0) + 100
             (child,) = root.spawn(1)
+            # Batched replication: all num_runs replicas of this grid
+            # point advance in one vectorised (R, k) engine.
             results = measure_consensus_times(
                 dynamics,
                 counts,
                 num_runs=params["num_runs"],
                 max_rounds=budget,
                 seed=child,
+                engine="batch",
             )
             times = consensus_times(results)
             median_time = (

@@ -24,6 +24,11 @@ Engine semantics
     ``max_rounds * n`` ticks and the reported ``rounds`` is the
     synchronous-equivalent ``ceil(ticks / n)``, with the raw tick count
     in ``metrics["ticks"]``.
+``async-batch``
+    All R asynchronous replicas advance tick-by-tick in lockstep inside
+    one :class:`~repro.engine.async_batch.AsyncBatchPopulationEngine`
+    (same budget and reporting conventions as ``async``; equal in
+    distribution to R sequential ``async`` runs, not bitwise).
 ``batch``
     All R replicas advance in lockstep inside one
     :class:`~repro.engine.batch.BatchPopulationEngine` — the same chain

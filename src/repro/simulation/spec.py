@@ -105,8 +105,10 @@ class SimulationSpec:
         Any engine registered in :mod:`repro.engine.registry`:
         ``"population"`` (exact count chain), ``"agent"`` (per-vertex on
         a graph), ``"async"`` (one vertex per tick), ``"batch"``
-        (vectorised multi-replica count matrix) or ``"agent-batch"``
-        (vectorised multi-replica opinion matrix on a graph).
+        (vectorised multi-replica count matrix), ``"agent-batch"``
+        (vectorised multi-replica opinion matrix on a graph) or
+        ``"async-batch"`` (R asynchronous chains advanced tick-by-tick
+        in lockstep).
     graph:
         Substrate for the graph-capable engines (``agent`` /
         ``agent-batch``); defaults to the complete graph.

@@ -4,6 +4,7 @@ from repro.sweep.grid import (
     SweepPoint,
     SweepSpec,
     consensus_time_point,
+    consensus_times_point_batch,
     run_sweep,
     spec_from_params,
 )
@@ -12,6 +13,7 @@ __all__ = [
     "SweepPoint",
     "SweepSpec",
     "consensus_time_point",
+    "consensus_times_point_batch",
     "run_sweep",
     "spec_from_params",
 ]

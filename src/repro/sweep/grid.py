@@ -16,6 +16,18 @@ Each grid point is measured by a *point function* (the default measures
 the consensus time of a dynamics from a balanced start; any callable
 ``(params, rng) -> float`` works) and cached as one JSON file keyed by
 the point's parameters, so interrupted sweeps resume for free.
+
+Measurement is **batch-first**: by default a point's ``num_runs``
+replicas are measured in one vectorised engine run
+(``batch`` / ``agent-batch`` / ``async-batch``, via
+:func:`consensus_times_point_batch`) instead of ``num_runs`` sequential
+runs.  Pass ``measure="sequential"`` to :func:`run_sweep` for the
+historical one-engine-per-replica path.  The two modes sample the same
+chains (equal in distribution, regression-tested) but consume
+randomness differently — batched replicas share one stream — so their
+cache keys carry a versioned measurement-mode field and are never
+interchangeable: a batched sweep never reads values from an old
+sequential cache, and vice versa.
 """
 
 from __future__ import annotations
@@ -24,30 +36,54 @@ import functools
 import hashlib
 import itertools
 import json
+import math
 from collections.abc import Callable, Mapping
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.adversary import near_consensus_target
-from repro.engine import AgentEngine, PopulationEngine, run_until_consensus
+from repro.engine import (
+    AgentEngine,
+    AsyncPopulationEngine,
+    PopulationEngine,
+    get_engine,
+    run_until_consensus,
+)
 from repro.errors import ConfigurationError
 from repro.graphs import make_graph
 from repro.seeding import RandomState, spawn_generators
-from repro.simulation import SimulationSpec
+from repro.simulation import SimulationSpec, execute
+
 from repro.state import counts_to_agents
 
 __all__ = [
     "SweepPoint",
     "SweepSpec",
     "consensus_time_point",
+    "consensus_times_point_batch",
     "run_sweep",
     "spec_from_params",
 ]
 
 PointFunction = Callable[[Mapping, np.random.Generator], float]
+
+#: Batched point functions measure a whole grid point at once:
+#: ``(params, num_runs, seed) -> per-replica values`` where ``seed`` is
+#: declarative (an int tuple), so the callable stays picklable for the
+#: worker pool.
+BatchPointFunction = Callable[[Mapping, int, tuple], tuple]
+
+#: Sequential chain families a grid point may name via its ``engine``
+#: parameter, mapped to the vectorised sibling that measures the same
+#: chain when the sweep runs with ``measure="batch"``.
+_BATCH_SIBLING = {
+    "population": "batch",
+    "agent": "agent-batch",
+    "async": "async-batch",
+}
 
 
 @functools.lru_cache(maxsize=32)
@@ -70,31 +106,65 @@ def _cached_graph(name, n, degree, edge_probability, graph_seed):
     )
 
 
-def spec_from_params(params: Mapping) -> SimulationSpec:
+def spec_from_params(
+    params: Mapping,
+    *,
+    replicas: int = 1,
+    seed: RandomState = 0,
+    measure: str = "sequential",
+) -> SimulationSpec:
     """Build a validated simulation spec from a flat grid-point dict.
 
     Recognised keys: ``dynamics`` (default ``"3-majority"``), ``n``,
     ``k``, ``initial`` (family name, default ``"balanced"``),
     ``initial_params`` (dict of family parameters), ``max_rounds``,
-    ``adversary`` (strategy name), ``adversary_budget`` (per-round F —
-    a natural grid axis for tolerance sweeps), and the graph substrate
-    dimension: ``graph`` (a :data:`repro.graphs.GRAPH_FAMILIES` name),
-    ``degree`` (random-regular — the grid axis of "consensus time vs.
-    degree" studies), ``edge_probability`` (Erdős–Rényi) and
-    ``graph_seed`` (edge-set seed, default 0, kept separate from the
-    run seeds so every replica of a point sees the *same* substrate).
-    All of them are JSON-serialisable, so a point's spec is derivable
-    from its cache entry and — crucially for the point cache — points
-    with different substrates, strategies or budgets hash to different
-    keys, because the full parameter dict is the cache key.  Graph
-    points run on the ``agent`` engine (the point function measures one
-    replica at a time); non-graph points keep the exact population
-    chain.  Validation happens here, eagerly, rather than deep inside a
-    half-finished sweep.
+    ``engine`` (the sequential chain family to measure —
+    ``"population"`` (default), ``"agent"`` or ``"async"``; the
+    one-vertex-per-tick [CMRSS25] chain becomes a grid dimension this
+    way), ``adversary`` (strategy name), ``adversary_budget``
+    (per-round F — a natural grid axis for tolerance sweeps), and the
+    graph substrate dimension: ``graph`` (a
+    :data:`repro.graphs.GRAPH_FAMILIES` name), ``degree``
+    (random-regular — the grid axis of "consensus time vs. degree"
+    studies), ``edge_probability`` (Erdős–Rényi) and ``graph_seed``
+    (edge-set seed, default 0, kept separate from the run seeds so
+    every replica of a point sees the *same* substrate).  All of them
+    are JSON-serialisable, so a point's spec is derivable from its
+    cache entry and — crucially for the point cache — points with
+    different substrates, chain families, strategies or budgets hash
+    to different keys, because the full parameter dict is the cache
+    key.  Graph points run the agent-level chain; non-graph points
+    default to the exact population chain.  Validation happens here,
+    eagerly, rather than deep inside a half-finished sweep.
+
+    ``measure="batch"`` swaps each chain family for its vectorised
+    sibling (``batch`` / ``agent-batch`` / ``async-batch``) with
+    ``replicas`` rows and the declarative ``seed``; adversarial batch
+    points additionally carry the near-consensus ``target`` on engines
+    that support per-row targets, mirroring what the sequential point
+    function passes to ``run_until_consensus``.  The *initial
+    configuration* is always derived from the params alone (the batched
+    spec receives the explicit count vector the sequential-equivalent
+    spec would build), so random initial families like ``dirichlet``
+    start both measurement modes — and every replica — from the same
+    configuration; the measurement ``seed`` only drives the chains.
     """
+    if measure not in ("sequential", "batch"):
+        raise ConfigurationError(
+            f"measure must be 'sequential' or 'batch', got {measure!r}"
+        )
+    engine = params.get("engine")
+    if engine is not None and engine not in _BATCH_SIBLING:
+        raise ConfigurationError(
+            f"sweep points measure a sequential chain family; engine "
+            f"must be one of {sorted(_BATCH_SIBLING)}, got {engine!r}"
+        )
     graph = None
-    engine = "population"
     if "graph" in params and params["graph"] != "complete":
+        if engine not in (None, "agent"):
+            raise ConfigurationError(
+                f"graph points run the agent chain, got engine={engine!r}"
+            )
         graph = _cached_graph(
             str(params["graph"]),
             int(params["n"]),
@@ -107,23 +177,52 @@ def spec_from_params(params: Mapping) -> SimulationSpec:
             int(params.get("graph_seed", 0)),
         )
         engine = "agent"
+    elif engine is None:
+        engine = "population"
+    counts = None
+    if measure == "batch":
+        engine = _BATCH_SIBLING[engine]
+        # Pin the start to what sequential measurement uses: the
+        # sequential point function builds its spec from the params
+        # alone (default spec seed), so random initial families
+        # (dirichlet) derive their configuration from that fixed
+        # stream.  The batched spec carries a *measurement* seed, which
+        # must not leak into the start — hand it the explicit counts
+        # of the sequential-equivalent spec instead.
+        counts = spec_from_params(params).initial_counts()
+    target = None
+    budget = (
+        int(params["adversary_budget"])
+        if "adversary_budget" in params
+        else None
+    )
+    if (
+        measure == "batch"
+        and params.get("adversary") is not None
+        and budget
+        and get_engine(engine).supports_target
+    ):
+        # Same stopping rule the sequential point function applies by
+        # hand: an F >= 1 adversary can stall strict consensus forever,
+        # so adversarial points measure the near-consensus threshold.
+        target = near_consensus_target(int(params["n"]), budget)
     spec = SimulationSpec(
         dynamics=params.get("dynamics", "3-majority"),
         n=int(params["n"]),
         k=int(params["k"]),
         initial=params.get("initial", "balanced"),
         initial_params=params.get("initial_params", {}),
+        counts=counts,
         engine=engine,
         graph=graph,
+        replicas=int(replicas),
+        seed=seed,
         max_rounds=(
             int(params["max_rounds"]) if "max_rounds" in params else None
         ),
+        target=target,
         adversary=params.get("adversary"),
-        adversary_budget=(
-            int(params["adversary_budget"])
-            if "adversary_budget" in params
-            else None
-        ),
+        adversary_budget=budget,
     )
     return spec
 
@@ -136,9 +235,11 @@ def consensus_time_point(
     Builds a :class:`~repro.simulation.spec.SimulationSpec` via
     :func:`spec_from_params` and measures a single run on the caller's
     stream — the exact population chain on the complete substrate, the
-    agent-level chain (shuffled vertex identities) on graph points.
-    Returns NaN when the round budget runs out, so censored points are
-    visible rather than silently dropped.
+    agent-level chain (shuffled vertex identities) on graph points, the
+    one-vertex-per-tick [CMRSS25] chain (reported in synchronous-
+    equivalent rounds) on ``engine="async"`` points.  Returns NaN when
+    the round budget runs out, so censored points are visible rather
+    than silently dropped.
 
     Adversarial points (``adversary`` + ``adversary_budget`` in
     ``params``) run the corrupted chain; since an F >= 1 adversary can
@@ -150,6 +251,25 @@ def consensus_time_point(
     """
     spec = spec_from_params(params)
     adversary = spec.resolved_adversary()
+    if spec.engine == "async":
+        # One-vertex-per-tick chain: the round budget buys n ticks per
+        # round and the measurement is reported in synchronous-
+        # equivalent rounds (ceil(ticks / n)), matching the async
+        # registry adapter.  The async engine has no custom-target
+        # support, so adversarial async points measure strict consensus
+        # (a stalling adversary surfaces as a censored NaN).
+        engine = AsyncPopulationEngine(
+            spec.resolved_dynamics(),
+            spec.initial_counts(),
+            seed=rng,
+            adversary=adversary,
+        )
+        tick = engine.run_until_consensus(
+            max_ticks=spec.round_budget() * spec.n
+        )
+        if tick is None:
+            return float("nan")
+        return float(math.ceil(tick / spec.n))
     target = None
     if adversary is not None and adversary.budget > 0:
         target = near_consensus_target(spec.n, adversary.budget)
@@ -176,6 +296,37 @@ def consensus_time_point(
         engine, max_rounds=spec.round_budget(), target=target
     )
     return float(result.rounds) if result.converged else float("nan")
+
+
+def consensus_times_point_batch(
+    params: Mapping, num_runs: int, seed: tuple
+) -> tuple[float, ...]:
+    """Batched default point function: a whole grid point at once.
+
+    Measures all ``num_runs`` replicas of one grid point through the
+    vectorised sibling of the point's chain family (``batch`` for
+    population points, ``agent-batch`` for graph points, ``async-batch``
+    for asynchronous points) and returns the per-replica stopping
+    rounds the engines recorded per row (``ResultSet.consensus_times``;
+    for ``async-batch`` that is the sequential adapter's
+    ``ceil(ticks / n)`` convention, not the engine's floored
+    ``consensus_rounds`` view) — NaN for censored rows, and for
+    adversarial points the per-row near-consensus-``target`` stopping
+    time on engines that support per-row targets (``batch`` /
+    ``agent-batch``), exactly like the sequential default.
+
+    ``seed`` is declarative (an int tuple derived by
+    :func:`run_sweep` from the sweep seed and the point key), so the
+    function pickles cleanly into the worker pool.  All replicas share
+    one stream: values are equal to sequential measurement in
+    distribution, not in realisation — which is why batched points
+    cache under distinct keys.
+    """
+    spec = spec_from_params(
+        params, replicas=int(num_runs), seed=seed, measure="batch"
+    )
+    results = execute(spec)
+    return tuple(float(value) for value in results.consensus_times)
 
 
 @dataclass(frozen=True)
@@ -230,11 +381,22 @@ class SweepSpec:
         ]
 
 
-def _point_key(params: Mapping) -> str:
-    """Stable filename stem for a point's parameter dict."""
-    canon = json.dumps(
-        {str(k): params[k] for k in sorted(params)}, sort_keys=True
-    )
+def _point_key(params: Mapping, measure: str = "sequential") -> str:
+    """Stable filename stem for a point's parameter dict.
+
+    ``measure`` is a *versioned* component of the key: batched
+    measurement shares one stream across a point's replicas, so its
+    values are equal to sequential measurement in distribution but not
+    in realisation — a batched sweep must therefore never read a cache
+    file written by a sequential one (or vice versa).  Sequential keys
+    keep the historical parameters-only canonicalisation, so caches
+    from before the batch-first driver still resolve for
+    ``measure="sequential"``.
+    """
+    canon_params = {str(k): params[k] for k in sorted(params)}
+    if measure != "sequential":
+        canon_params["__measure__"] = f"{measure}/v1"
+    canon = json.dumps(canon_params, sort_keys=True)
     return hashlib.sha256(canon.encode()).hexdigest()[:16]
 
 
@@ -257,11 +419,32 @@ def _measure_point(
     )
 
 
+def _measure_point_batch(
+    batch_point_function: BatchPointFunction,
+    params: Mapping,
+    entropy: list[int],
+    num_runs: int,
+) -> tuple[float, ...]:
+    """Evaluate one grid point in a single batched engine run.
+
+    The point's entropy doubles as the declarative spec seed (an int
+    tuple), so batched points are exactly as reproducible and
+    grid-independent as sequential ones — and the callable pickles into
+    the worker pool like :func:`_measure_point`.
+    """
+    values = batch_point_function(
+        params, num_runs, tuple(int(part) for part in entropy)
+    )
+    return tuple(float(value) for value in values)
+
+
 def run_sweep(
     spec: SweepSpec,
     point_function: PointFunction = consensus_time_point,
     cache_dir: str | Path | None = None,
     workers: int | None = None,
+    measure: str | None = None,
+    batch_point_function: BatchPointFunction | None = None,
 ) -> list[SweepPoint]:
     """Measure every grid point, loading cached points where present.
 
@@ -269,16 +452,52 @@ def run_sweep(
     so a point's result is independent of the rest of the grid — adding
     grid values later never changes previously measured points.
 
+    ``measure`` selects how a point's ``num_runs`` replicas are
+    evaluated: ``"batch"`` (one vectorised engine run per point, via
+    ``batch_point_function`` — default
+    :func:`consensus_times_point_batch`) or ``"sequential"`` (one
+    ``point_function`` call per replica stream).  The default (``None``)
+    resolves to ``"batch"`` for the default point function and to
+    ``"sequential"`` when a custom ``point_function`` is given — a
+    custom sequential function cannot be batched implicitly, so asking
+    for ``measure="batch"`` with one (and no ``batch_point_function``)
+    raises.  The two modes measure the same chains but cache under
+    distinct, versioned keys (see :func:`_point_key`) and are never
+    silently mixed.
+
     ``workers`` (when > 1) evaluates uncached points process-parallel
     with :class:`concurrent.futures.ProcessPoolExecutor`; results and
     cache files are identical to a sequential run because every point
-    owns its seed stream.  ``point_function`` must be picklable
-    (module-level) in that case.
+    owns its seed stream.  Completed points are consumed as they finish
+    (``as_completed``), so one slow point never delays the cache writes
+    of the points behind it and an interrupted or partially failed
+    parallel sweep keeps every finished point; the returned list stays
+    in deterministic grid order via the recorded indices.  The point
+    function must be picklable (module-level) in that case.
     """
     if workers is not None and workers < 1:
         raise ConfigurationError(
             f"workers must be a positive count, got {workers}"
         )
+    if measure is None:
+        if batch_point_function is not None:
+            measure = "batch"
+        elif point_function is consensus_time_point:
+            measure = "batch"
+        else:
+            measure = "sequential"
+    if measure not in ("batch", "sequential"):
+        raise ConfigurationError(
+            f"measure must be 'batch' or 'sequential', got {measure!r}"
+        )
+    if measure == "batch" and batch_point_function is None:
+        if point_function is not consensus_time_point:
+            raise ConfigurationError(
+                "measure='batch' cannot batch a custom sequential "
+                "point_function; pass measure='sequential' or provide "
+                "a batch_point_function(params, num_runs, seed)"
+            )
+        batch_point_function = consensus_times_point_batch
     cache = Path(cache_dir) if cache_dir is not None else None
     if cache is not None:
         cache.mkdir(parents=True, exist_ok=True)
@@ -287,7 +506,7 @@ def run_sweep(
     results: list[SweepPoint | None] = []
     pending: list[tuple[int, dict, Path | None, list[int]]] = []
     for params in spec.points():
-        key = _point_key(params)
+        key = _point_key(params, measure)
         cache_file = cache / f"{key}.json" if cache is not None else None
         if cache_file is not None and cache_file.exists():
             payload = json.loads(cache_file.read_text())
@@ -302,6 +521,14 @@ def run_sweep(
         results.append(None)
         pending.append((len(results) - 1, dict(params), cache_file, entropy))
 
+    # One dispatch for both execution branches: the worker pool ships
+    # (measure_fn, fn) to subprocesses, the sequential loop calls them
+    # directly, so the two paths can never disagree on the mode.
+    if measure == "batch":
+        measure_fn, fn = _measure_point_batch, batch_point_function
+    else:
+        measure_fn, fn = _measure_point, point_function
+
     def _finish(entry, values) -> None:
         # Cache files are written per point, as soon as its values are
         # in hand, so an interrupted sweep keeps every finished point.
@@ -310,33 +537,45 @@ def run_sweep(
         if cache_file is not None:
             cache_file.write_text(
                 json.dumps(
-                    {"params": point.params, "values": list(values)}
+                    {
+                        "params": point.params,
+                        "values": list(values),
+                        "measure": measure,
+                    }
                 )
             )
         results[index] = point
 
     if workers is not None and workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _measure_point,
-                    point_function,
-                    params,
-                    entropy,
-                    spec.num_runs,
+            future_entries = {}
+            for entry in pending:
+                _, params, _, entropy = entry
+                future = pool.submit(
+                    measure_fn, fn, params, entropy, spec.num_runs
                 )
-                for _, params, _, entropy in pending
-            ]
-            for entry, future in zip(pending, futures):
-                _finish(entry, future.result())
+                future_entries[future] = entry
+            # Consume in completion order so a slow point never blocks
+            # the cache writes of finished ones; if a point fails, the
+            # rest still land in the cache before the error surfaces.
+            # Only Exception is collected — KeyboardInterrupt and
+            # friends must abort the sweep immediately.
+            first_error: Exception | None = None
+            for future in as_completed(future_entries):
+                try:
+                    values = future.result()
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                _finish(future_entries[future], values)
+            if first_error is not None:
+                raise first_error
     else:
         for entry in pending:
             _, params, _, entropy = entry
             _finish(
-                entry,
-                _measure_point(
-                    point_function, params, entropy, spec.num_runs
-                ),
+                entry, measure_fn(fn, params, entropy, spec.num_runs)
             )
     return results  # type: ignore[return-value]
 

@@ -138,6 +138,27 @@ class TestSimulate:
         assert "8 runs, 8 converged" in out
         assert "consensus time: median" in out
 
+    def test_async_batch_replicas_print_aggregate(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--n",
+                "128",
+                "--k",
+                "4",
+                "--engine",
+                "async-batch",
+                "--replicas",
+                "6",
+                "--seed",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine=async-batch" in out
+        assert "6 runs, 6 converged" in out
+
     def test_replicas_without_batch_aggregate(self, capsys):
         code = main(
             [
@@ -268,6 +289,80 @@ class TestSweepCommand:
         assert code == 0
         assert "Consensus-time sweep (4 points" in out
         assert "median T" in out
+
+    def test_measure_sequential_opt_out(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--n",
+                "256",
+                "--k",
+                "2",
+                "--runs",
+                "2",
+                "--measure",
+                "sequential",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measure=sequential" in out
+
+    def test_async_chain_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--n",
+                "128",
+                "--k",
+                "2",
+                "--runs",
+                "2",
+                "--chain",
+                "async",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chain=async" in out
+
+    def test_async_chain_rejects_graph(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--n",
+                "128",
+                "--k",
+                "2",
+                "--chain",
+                "async",
+                "--graph",
+                "random-regular",
+                "--degree",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "complete graph" in out
+
+    def test_measure_modes_cache_separately(self, tmp_path, capsys):
+        args = [
+            "sweep",
+            "--n",
+            "256",
+            "--k",
+            "2",
+            "--runs",
+            "2",
+            "--cache",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert main(args + ["--measure", "sequential"]) == 0
+        capsys.readouterr()
+        assert len(list(tmp_path.glob("*.json"))) == 2
 
     def test_multiple_dynamics_axis(self, capsys):
         code = main(

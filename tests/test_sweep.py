@@ -6,11 +6,13 @@ import json
 
 import numpy as np
 import pytest
+from scipy.stats import ks_2samp
 
 from repro.errors import ConfigurationError
 from repro.sweep import (
     SweepPoint,
     SweepSpec,
+    consensus_times_point_batch,
     run_sweep,
     spec_from_params,
 )
@@ -20,6 +22,13 @@ from repro.sweep.grid import _point_key, _seed_entropy, consensus_time_point
 def _cheap_point(params, rng):
     """Deterministic-ish fast point function for driver tests."""
     return float(params["x"] * 10 + rng.integers(0, 3))
+
+
+def _explodes_on_x3(params, rng):
+    """Module-level (picklable) point function failing on one point."""
+    if params["x"] == 3:
+        raise RuntimeError("boom")
+    return float(params["x"])
 
 
 class TestSweepSpec:
@@ -196,6 +205,27 @@ class TestRunSweep:
         spec = SweepSpec(grid={"x": [1]})
         with pytest.raises(ConfigurationError, match="workers"):
             run_sweep(spec, point_function=_cheap_point, workers=0)
+
+    def test_parallel_failure_keeps_finished_points(self, tmp_path):
+        """A failing point must not lose the other finished points.
+
+        Regression for the head-of-line-blocking consumption pattern:
+        results are consumed with ``as_completed``, every finished
+        point is cached, and the first error surfaces afterwards.
+        """
+        spec = SweepSpec(grid={"x": [1, 2, 3]}, num_runs=1, seed=0)
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sweep(
+                spec,
+                point_function=_explodes_on_x3,
+                cache_dir=tmp_path,
+                workers=2,
+            )
+        cached = [
+            json.loads(p.read_text())["params"]["x"]
+            for p in tmp_path.glob("*.json")
+        ]
+        assert sorted(cached) == [1, 2]
 
 
 class TestSpecFromParams:
@@ -381,3 +411,240 @@ class TestConsensusTimePoint:
             rng,
         )
         assert np.isnan(value)  # a stall, not a round-0 "success"
+
+    def test_async_engine_point(self, rng):
+        """engine='async' measures the tick chain in sync-equiv rounds."""
+        value = consensus_time_point(
+            {"dynamics": "3-majority", "n": 128, "k": 2,
+             "engine": "async"},
+            rng,
+        )
+        assert value > 0
+
+    def test_async_engine_point_can_censor(self, rng):
+        value = consensus_time_point(
+            {"dynamics": "3-majority", "n": 512, "k": 64,
+             "engine": "async", "max_rounds": 1},
+            rng,
+        )
+        assert np.isnan(value)
+
+
+class TestSpecFromParamsEngines:
+    BASE = {"dynamics": "3-majority", "n": 256, "k": 4}
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError, match="chain family"):
+            spec_from_params({**self.BASE, "engine": "batch"})
+
+    def test_rejects_graph_with_non_agent_engine(self):
+        with pytest.raises(ConfigurationError, match="agent chain"):
+            spec_from_params(
+                {
+                    **self.BASE,
+                    "graph": "random-regular",
+                    "degree": 4,
+                    "engine": "async",
+                }
+            )
+
+    @pytest.mark.parametrize(
+        "engine, batch_engine",
+        [
+            (None, "batch"),
+            ("population", "batch"),
+            ("async", "async-batch"),
+        ],
+    )
+    def test_batch_measure_maps_to_sibling(self, engine, batch_engine):
+        params = dict(self.BASE)
+        if engine is not None:
+            params["engine"] = engine
+        sequential = spec_from_params(params)
+        batched = spec_from_params(
+            params, replicas=6, seed=(1, 2), measure="batch"
+        )
+        assert sequential.engine == (engine or "population")
+        assert batched.engine == batch_engine
+        assert batched.replicas == 6
+
+    def test_batch_measure_graph_point_maps_to_agent_batch(self):
+        spec = spec_from_params(
+            {
+                **self.BASE,
+                "graph": "random-regular",
+                "degree": 4,
+            },
+            replicas=3,
+            measure="batch",
+        )
+        assert spec.engine == "agent-batch"
+        assert spec.graph is not None
+
+    def test_batch_measure_adversarial_point_carries_target(self):
+        spec = spec_from_params(
+            {
+                **self.BASE,
+                "adversary": "runner-up",
+                "adversary_budget": 2,
+            },
+            replicas=3,
+            measure="batch",
+        )
+        assert spec.engine == "batch"
+        assert spec.target is not None
+        # Sequential specs keep the historical targetless shape (the
+        # point function threads the target into run_until_consensus).
+        assert spec_from_params(
+            {
+                **self.BASE,
+                "adversary": "runner-up",
+                "adversary_budget": 2,
+            }
+        ).target is None
+
+    def test_rejects_unknown_measure(self):
+        with pytest.raises(ConfigurationError, match="measure"):
+            spec_from_params(self.BASE, measure="vectorised")
+
+    def test_random_initial_family_shares_start_across_modes(self):
+        """Dirichlet starts are a function of the params alone.
+
+        Regression: the batched spec carries a measurement seed, which
+        must not leak into the initial configuration — batch and
+        sequential measurement (and every replica) see the identical
+        random-family start.
+        """
+        params = {**self.BASE, "initial": "dirichlet"}
+        sequential = spec_from_params(params).initial_counts()
+        batched = spec_from_params(
+            params, replicas=4, seed=(9, 9, 9), measure="batch"
+        ).initial_counts()
+        assert (sequential == batched).all()
+
+
+class TestBatchMeasurement:
+    """run_sweep defaults to batched measurement with sequential opt-out."""
+
+    POINT = {"dynamics": "3-majority", "n": 512}
+
+    def test_default_measure_is_batch(self, tmp_path):
+        """The default point function routes through the batch sibling
+        and caches under the batch key, not the sequential one."""
+        spec = SweepSpec(
+            grid={"k": [4]}, fixed=self.POINT, num_runs=3, seed=0
+        )
+        run_sweep(spec, cache_dir=tmp_path)
+        (path,) = tmp_path.glob("*.json")
+        payload = json.loads(path.read_text())
+        assert payload["measure"] == "batch"
+        params = {**self.POINT, "k": 4}
+        assert path.stem == _point_key(params, "batch")
+        assert path.stem != _point_key(params)
+
+    def test_point_key_versioned_measure_field(self):
+        params = {**self.POINT, "k": 4}
+        assert _point_key(params, "sequential") == _point_key(params)
+        assert _point_key(params, "batch") != _point_key(params)
+
+    def test_modes_never_share_cache_files(self, tmp_path):
+        """A batched sweep never reads old sequential caches (and vice
+        versa): same grid, same dir, both modes measure fresh."""
+        spec = SweepSpec(
+            grid={"k": [2, 8]}, fixed=self.POINT, num_runs=2, seed=3
+        )
+        sequential = run_sweep(
+            spec, cache_dir=tmp_path, measure="sequential"
+        )
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        batch = run_sweep(spec, cache_dir=tmp_path, measure="batch")
+        assert len(list(tmp_path.glob("*.json"))) == 4
+        # Cached reload stays mode-faithful.
+        assert [p.values for p in run_sweep(
+            spec, cache_dir=tmp_path, measure="sequential"
+        )] == [p.values for p in sequential]
+        assert [p.values for p in run_sweep(
+            spec, cache_dir=tmp_path, measure="batch"
+        )] == [p.values for p in batch]
+
+    def test_custom_point_function_defaults_to_sequential(self, tmp_path):
+        spec = SweepSpec(grid={"x": [1]}, num_runs=2, seed=1)
+        run_sweep(
+            spec, point_function=_cheap_point, cache_dir=tmp_path
+        )
+        (path,) = tmp_path.glob("*.json")
+        assert json.loads(path.read_text())["measure"] == "sequential"
+
+    def test_custom_point_function_cannot_batch_implicitly(self):
+        spec = SweepSpec(grid={"x": [1]})
+        with pytest.raises(ConfigurationError, match="batch"):
+            run_sweep(
+                spec, point_function=_cheap_point, measure="batch"
+            )
+
+    def test_rejects_unknown_measure(self):
+        spec = SweepSpec(grid={"x": [1]})
+        with pytest.raises(ConfigurationError, match="measure"):
+            run_sweep(spec, measure="vectorised")
+
+    def test_batch_and_sequential_statistically_equivalent(self):
+        """Same chain, different streams: medians must agree (KS)."""
+        spec = SweepSpec(
+            grid={"k": [4]}, fixed=self.POINT, num_runs=60, seed=7
+        )
+        (sequential,) = run_sweep(spec, measure="sequential")
+        (batch,) = run_sweep(spec, measure="batch")
+        assert len(batch.values) == 60
+        statistic, p_value = ks_2samp(sequential.values, batch.values)
+        assert p_value > 1e-3, (
+            f"KS statistic {statistic:.3f}, p={p_value:.2e} — batched "
+            "and sequential sweep measurements differ in distribution"
+        )
+        assert (
+            abs(sequential.median - batch.median)
+            <= 0.35 * max(sequential.median, batch.median)
+        )
+
+    def test_batch_censored_rows_are_nan(self):
+        spec = SweepSpec(
+            grid={"k": [512]},
+            fixed={"dynamics": "2-choices", "n": 4096, "max_rounds": 2},
+            num_runs=3,
+            seed=0,
+        )
+        (point,) = run_sweep(spec, measure="batch")
+        assert all(np.isnan(v) for v in point.values)
+        assert point.censored == 3
+
+    def test_batch_point_function_direct(self):
+        values = consensus_times_point_batch(
+            {**self.POINT, "k": 4}, 5, (1, 2, 3)
+        )
+        assert len(values) == 5
+        assert all(v > 0 for v in values)
+        # Declarative seed: same entropy, same values.
+        assert values == consensus_times_point_batch(
+            {**self.POINT, "k": 4}, 5, (1, 2, 3)
+        )
+
+    def test_batch_workers_match_serial(self, tmp_path):
+        spec = SweepSpec(
+            grid={"k": [2, 4]}, fixed=self.POINT, num_runs=3, seed=5
+        )
+        serial = run_sweep(spec, measure="batch")
+        parallel = run_sweep(spec, measure="batch", workers=2)
+        assert [p.values for p in serial] == [
+            p.values for p in parallel
+        ]
+
+    def test_async_points_measure_batched(self):
+        spec = SweepSpec(
+            grid={"k": [2, 4]},
+            fixed={"dynamics": "3-majority", "n": 128, "engine": "async"},
+            num_runs=3,
+            seed=2,
+        )
+        points = run_sweep(spec)  # default batch -> async-batch
+        for point in points:
+            assert point.censored == 0
+            assert point.median > 0
