@@ -1,0 +1,141 @@
+"""Benchmark ``service`` — submit-to-result throughput under load.
+
+32 concurrent clients hammer one threaded service (4-worker fleet,
+persistent SQLite store, shared result cache): each submits a small
+batch-measured sweep job over HTTP and polls it to completion.  Two
+rounds run back to back:
+
+* **cold** — empty cache, every grid point actually measured;
+* **warm** — identical resubmissions, served entirely from the shared
+  cache (the multi-tenant story: repeat and overlapping workloads cost
+  queue time, not compute).
+
+The headline is cold-round throughput (jobs/s submit-to-result); the
+JSON artefact additionally records the warm round and per-job latency
+quantiles.  The assertions are correctness-first (every job done, warm
+values identical to cold) with a deliberately loose throughput floor —
+this is a service-stack benchmark on shared CI hardware, not a kernel
+microbenchmark.
+
+Run with:  pytest benchmarks/bench_service.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from conftest import write_bench_json
+
+from repro.service import QuotaPolicy, ServiceClient, SimulationService
+
+NUM_CLIENTS = 32
+NUM_WORKERS = 4
+NUM_RUNS = 8
+THROUGHPUT_FLOOR = 2.0  # jobs/s, deliberately conservative
+
+
+def _client_spec(index: int) -> dict:
+    # Every client gets its own two grid points, so the cold round
+    # measures 64 distinct points through the batch engine.
+    return {
+        "grid": {"n": [512 + 64 * index, 2048 + 64 * index], "k": [8]},
+        "fixed": {"dynamics": "3-majority"},
+        "num_runs": NUM_RUNS,
+        "seed": 17,
+    }
+
+
+def _round(url: str) -> dict:
+    """One full wave: 32 clients submit and poll to completion."""
+
+    def one_client(index: int) -> tuple[float, list]:
+        client = ServiceClient(url, client_id=f"bench-{index}")
+        started = time.perf_counter()
+        result = client.wait(
+            client.submit(_client_spec(index)),
+            timeout=300.0,
+            poll_interval=0.02,
+        )
+        return time.perf_counter() - started, result["points"]
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=NUM_CLIENTS) as pool:
+        outcomes = list(pool.map(one_client, range(NUM_CLIENTS)))
+    wall = time.perf_counter() - started
+    latencies = sorted(latency for latency, _ in outcomes)
+    return {
+        "wall_s": wall,
+        "jobs_per_s": NUM_CLIENTS / wall,
+        "latency_p50_s": statistics.median(latencies),
+        "latency_max_s": latencies[-1],
+        "points": [points for _, points in outcomes],
+    }
+
+
+def _study() -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    with SimulationService(
+        workdir / "jobs.db",
+        cache_dir=workdir / "cache",
+        num_workers=NUM_WORKERS,
+        quota=QuotaPolicy(
+            max_jobs=NUM_CLIENTS, max_points=4096, max_points_per_job=64
+        ),
+    ) as service:
+        cold = _round(service.url)
+        warm = _round(service.url)
+    return {"cold": cold, "warm": warm}
+
+
+def test_service_throughput_32_clients(benchmark):
+    study = benchmark.pedantic(_study, rounds=1, iterations=1)
+    cold, warm = study["cold"], study["warm"]
+    print()
+    print(
+        f"{NUM_CLIENTS} clients x 2 points x {NUM_RUNS} runs, "
+        f"{NUM_WORKERS} workers: "
+        f"cold {cold['jobs_per_s']:.1f} jobs/s "
+        f"(p50 {cold['latency_p50_s'] * 1000:.0f} ms), "
+        f"warm {warm['jobs_per_s']:.1f} jobs/s "
+        f"(p50 {warm['latency_p50_s'] * 1000:.0f} ms)"
+    )
+    # Correctness under concurrency: every job served its full grid,
+    # and warm resubmissions reproduced the cold values exactly (the
+    # cache, not a re-measurement, answered).
+    assert len(cold["points"]) == NUM_CLIENTS
+    for cold_points, warm_points in zip(
+        cold["points"], warm["points"]
+    ):
+        assert len(cold_points) == 2
+        assert [p["values"] for p in warm_points] == [
+            p["values"] for p in cold_points
+        ]
+    assert cold["jobs_per_s"] >= THROUGHPUT_FLOOR, (
+        f"submit-to-result throughput "
+        f"{cold['jobs_per_s']:.2f} jobs/s under the "
+        f"{THROUGHPUT_FLOOR} floor"
+    )
+    write_bench_json(
+        "service",
+        speedup=warm["jobs_per_s"] / cold["jobs_per_s"],
+        baseline_seconds=cold["wall_s"],
+        optimised_seconds=warm["wall_s"],
+        config={
+            "clients": NUM_CLIENTS,
+            "workers": NUM_WORKERS,
+            "points_per_job": 2,
+            "num_runs": NUM_RUNS,
+        },
+        extra={
+            "cold_jobs_per_s": round(cold["jobs_per_s"], 2),
+            "warm_jobs_per_s": round(warm["jobs_per_s"], 2),
+            "cold_latency_p50_s": round(cold["latency_p50_s"], 4),
+            "warm_latency_p50_s": round(warm["latency_p50_s"], 4),
+            "cold_latency_max_s": round(cold["latency_max_s"], 4),
+            "warm_latency_max_s": round(warm["latency_max_s"], 4),
+        },
+    )

@@ -1,0 +1,96 @@
+"""Quickstart: the simulation service — submit, poll, fetch, share.
+
+Spins up an in-process :class:`~repro.service.SimulationService`
+(persistent SQLite job store, priority scheduler with per-client
+quotas, a small worker fleet, the stdlib-HTTP submit/poll/result API)
+and drives it exactly the way a remote tenant would, through
+:class:`~repro.service.ServiceClient`:
+
+* two clients submit overlapping consensus-time sweep grids,
+* both jobs execute through the batch-first sweep path into one
+  *shared* result cache — overlapping grid points are measured once,
+* a re-submission of a finished grid completes near-instantly from
+  the cache,
+* an over-quota submission is rejected with a clear error.
+
+Against a long-running server the only change is the URL: start one
+with ``repro serve --db jobs.db --cache results --port 8642`` and point
+``ServiceClient("http://127.0.0.1:8642")`` at it.
+
+Run:  python examples/service_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.errors import QuotaExceededError
+from repro.service import QuotaPolicy, ServiceClient, SimulationService
+
+GRID_A = {"n": [64, 128, 256], "k": [2]}
+GRID_B = {"n": [128, 256, 512], "k": [2]}  # overlaps A on 128/256
+NUM_RUNS = 3
+SEED = 11
+
+
+def submit_and_wait(client: ServiceClient, grid: dict) -> dict:
+    job_id = client.submit(
+        {
+            "grid": grid,
+            "fixed": {"dynamics": "3-majority"},
+            "num_runs": NUM_RUNS,
+            "seed": SEED,
+        }
+    )
+    started = time.perf_counter()
+    result = client.wait(job_id, timeout=120.0)
+    wall = time.perf_counter() - started
+    print(f"  [{client.client_id}] job {job_id} done in {wall:.2f}s")
+    for point in result["points"]:
+        print(
+            f"    n={point['params']['n']:>4} k={point['params']['k']}"
+            f"  median T = {point['median']}"
+        )
+    return result
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-service-"))
+    quota = QuotaPolicy(max_jobs=4, max_points=64, max_points_per_job=32)
+    with SimulationService(
+        workdir / "jobs.db",
+        cache_dir=workdir / "cache",
+        num_workers=2,
+        quota=quota,
+    ) as service:
+        alice = ServiceClient(service.url, client_id="alice")
+        bob = ServiceClient(service.url, client_id="bob")
+
+        print("two tenants, overlapping grids, one shared cache:")
+        submit_and_wait(alice, GRID_A)
+        submit_and_wait(bob, GRID_B)
+
+        print("re-submitting alice's grid (pure cache hit):")
+        submit_and_wait(alice, GRID_A)
+
+        print("over-quota submission is rejected:")
+        try:
+            alice.submit(
+                {"grid": {"n": [64] * 33, "k": [2]}, "num_runs": 1}
+            )
+        except QuotaExceededError as exc:
+            print(f"  rejected: {exc}")
+
+        health = alice.health()
+        print(
+            f"healthz: status={health['status']} "
+            f"queue_depth={health['queue_depth']} "
+            f"workers={health['workers']['alive']}"
+            f"/{health['workers']['configured']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

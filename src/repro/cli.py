@@ -46,6 +46,22 @@ Subcommands
     List the registered dynamics specs.
 ``engines``
     List the registered simulation engines with their capabilities.
+``serve --db PATH [--cache DIR] [--port P] [--fleet N] [...]``
+    Run the simulation service: persistent SQLite job store, priority
+    scheduler with per-client quotas, a worker fleet executing jobs
+    through the batch-first sweep path into one shared result cache,
+    and the submit/poll/result HTTP API.  Prints the bound URL (use
+    ``--port 0`` for an ephemeral port) and serves until interrupted;
+    orphaned ``running`` jobs from a previous process are re-queued at
+    startup.
+``submit --url URL --n N [N...] --k K [K...] [...] [--wait]``
+    Submit the same grid the ``sweep`` subcommand would measure as a
+    job against a running service; prints the job id (or, with
+    ``--wait``, polls to completion and prints the result table).
+``status --url URL JOB_ID``
+    One job's lifecycle state, progress and retry accounting.
+``result --url URL JOB_ID [--wait]``
+    Result table of a finished job (``--wait`` polls first).
 """
 
 from __future__ import annotations
@@ -179,70 +195,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser = sub.add_parser(
         "sweep", help="cached consensus-time sweep over a parameter grid"
     )
-    sweep_parser.add_argument(
-        "--dynamics",
-        nargs="+",
-        default=["3-majority"],
-        help="one or more dynamics specs (grid axis when several)",
-    )
-    sweep_parser.add_argument(
-        "--n", type=int, nargs="+", required=True, help="grid values for n"
-    )
-    sweep_parser.add_argument(
-        "--k", type=int, nargs="+", required=True, help="grid values for k"
-    )
-    sweep_parser.add_argument(
-        "--graph",
-        default=None,
-        choices=sorted(GRAPH_FAMILIES),
-        help="graph substrate family applied at every point",
-    )
-    sweep_parser.add_argument(
-        "--degree",
-        type=int,
-        nargs="+",
-        default=None,
-        help=(
-            "vertex degree(s) for --graph random-regular; several "
-            "values form a density-sweep grid axis"
-        ),
-    )
-    sweep_parser.add_argument(
-        "--edge-probability",
-        type=float,
-        default=None,
-        help="edge probability for --graph erdos-renyi",
-    )
-    sweep_parser.add_argument(
-        "--graph-seed",
-        type=int,
-        default=0,
-        help="edge-set seed for random graph families (default 0)",
-    )
-    sweep_parser.add_argument(
-        "--runs", type=int, default=3, help="replicas per point (default 3)"
-    )
-    sweep_parser.add_argument("--seed", type=int, default=0)
-    sweep_parser.add_argument(
-        "--max-rounds", type=int, default=None, help="round budget per run"
-    )
-    sweep_parser.add_argument(
-        "--adversary",
-        default=None,
-        choices=available_adversaries(),
-        help="adversary strategy applied at every grid point",
-    )
-    sweep_parser.add_argument(
-        "--adversary-budget",
-        type=int,
-        nargs="+",
-        default=None,
-        metavar="F",
-        help=(
-            "adversary budget(s); several values add a tolerance-sweep "
-            "grid axis"
-        ),
-    )
+    _add_sweep_axes(sweep_parser)
     sweep_parser.add_argument(
         "--cache",
         default=None,
@@ -255,7 +208,200 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process-parallel point evaluation (default sequential)",
     )
-    sweep_parser.add_argument(
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the simulation service (job queue + HTTP API)"
+    )
+    serve_parser.add_argument(
+        "--db",
+        default="service-jobs.db",
+        metavar="PATH",
+        help="SQLite job-store path (default service-jobs.db)",
+    )
+    serve_parser.add_argument(
+        "--cache",
+        default="service-cache",
+        metavar="DIR",
+        help="shared sweep result cache directory (default service-cache)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="HTTP port (0 binds an ephemeral port; default 8642)",
+    )
+    serve_parser.add_argument(
+        "--fleet",
+        type=int,
+        default=2,
+        help="worker threads executing jobs (default 2)",
+    )
+    serve_parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job execution timeout (default: none)",
+    )
+    serve_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries (with backoff) for transient job failures",
+    )
+    serve_parser.add_argument(
+        "--quota-jobs",
+        type=int,
+        default=16,
+        help="max active jobs per client (default 16)",
+    )
+    serve_parser.add_argument(
+        "--quota-points",
+        type=int,
+        default=512,
+        help="max active grid points per client (default 512)",
+    )
+    serve_parser.add_argument(
+        "--quota-points-per-job",
+        type=int,
+        default=256,
+        help="max grid points in a single job (default 256)",
+    )
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a sweep grid as a job to a running service"
+    )
+    _add_sweep_axes(submit_parser)
+    _add_service_url(submit_parser)
+    submit_parser.add_argument(
+        "--client",
+        default="cli",
+        help="client id for quota accounting (default 'cli')",
+    )
+    submit_parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="scheduling priority (higher runs first; default 0)",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes and print its result table",
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait polling deadline in seconds (default 600)",
+    )
+
+    status_parser = sub.add_parser(
+        "status", help="show one service job's state and progress"
+    )
+    _add_service_url(status_parser)
+    status_parser.add_argument("job_id")
+
+    result_parser = sub.add_parser(
+        "result", help="fetch a finished service job's result table"
+    )
+    _add_service_url(result_parser)
+    result_parser.add_argument("job_id")
+    result_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes instead of failing fast",
+    )
+    result_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait polling deadline in seconds (default 600)",
+    )
+    return parser
+
+
+def _add_service_url(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--url",
+        required=True,
+        help="base URL of a running service (see 'repro serve')",
+    )
+
+
+def _add_sweep_axes(parser: argparse.ArgumentParser) -> None:
+    """Grid-axis flags shared by ``sweep`` (local) and ``submit`` (remote).
+
+    One flag set, one grid builder (:func:`_grid_from_args`): a grid
+    submitted to the service is *by construction* the same grid the
+    local subcommand would measure.
+    """
+    parser.add_argument(
+        "--dynamics",
+        nargs="+",
+        default=["3-majority"],
+        help="one or more dynamics specs (grid axis when several)",
+    )
+    parser.add_argument(
+        "--n", type=int, nargs="+", required=True, help="grid values for n"
+    )
+    parser.add_argument(
+        "--k", type=int, nargs="+", required=True, help="grid values for k"
+    )
+    parser.add_argument(
+        "--graph",
+        default=None,
+        choices=sorted(GRAPH_FAMILIES),
+        help="graph substrate family applied at every point",
+    )
+    parser.add_argument(
+        "--degree",
+        type=int,
+        nargs="+",
+        default=None,
+        help=(
+            "vertex degree(s) for --graph random-regular; several "
+            "values form a density-sweep grid axis"
+        ),
+    )
+    parser.add_argument(
+        "--edge-probability",
+        type=float,
+        default=None,
+        help="edge probability for --graph erdos-renyi",
+    )
+    parser.add_argument(
+        "--graph-seed",
+        type=int,
+        default=0,
+        help="edge-set seed for random graph families (default 0)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=3, help="replicas per point (default 3)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-rounds", type=int, default=None, help="round budget per run"
+    )
+    parser.add_argument(
+        "--adversary",
+        default=None,
+        choices=available_adversaries(),
+        help="adversary strategy applied at every grid point",
+    )
+    parser.add_argument(
+        "--adversary-budget",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="F",
+        help=(
+            "adversary budget(s); several values add a tolerance-sweep "
+            "grid axis"
+        ),
+    )
+    parser.add_argument(
         "--measure",
         default="batch",
         choices=("batch", "sequential"),
@@ -266,7 +412,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "the two cache under distinct keys"
         ),
     )
-    sweep_parser.add_argument(
+    parser.add_argument(
         "--chain",
         default="sync",
         choices=("sync", "async"),
@@ -276,7 +422,6 @@ def _build_parser() -> argparse.ArgumentParser:
             "chain, reported in synchronous-equivalent rounds"
         ),
     )
-    return parser
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -366,6 +511,14 @@ def main(argv: list[str] | None = None) -> int:
         return _simulate(args)
     if args.command == "sweep":
         return _sweep(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "submit":
+        return _submit(args)
+    if args.command == "status":
+        return _status(args)
+    if args.command == "result":
+        return _result(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 
@@ -523,10 +676,14 @@ def _simulate(args) -> int:
     return 0 if results.num_censored == 0 else 1
 
 
-def _sweep(args) -> int:
-    from repro.analysis.tables import format_table
-    from repro.sweep import SweepSpec, run_sweep
+def _grid_from_args(args) -> tuple[dict, dict]:
+    """Build the sweep ``(grid, fixed)`` pair from shared axis flags.
 
+    Used identically by the local ``sweep`` subcommand and the remote
+    ``submit`` verb, so a submitted job measures exactly the grid the
+    local command would.  Raises :class:`ConfigurationError` on
+    inconsistent flag combinations.
+    """
     grid: dict[str, list] = {"n": args.n, "k": args.k}
     fixed: dict = {}
     if len(args.dynamics) > 1:
@@ -537,42 +694,52 @@ def _sweep(args) -> int:
         fixed["max_rounds"] = args.max_rounds
     graph_sweep = args.graph is not None
     adversarial = args.adversary is not None
-    try:
-        if args.chain == "async":
-            if graph_sweep:
-                raise ConfigurationError(
-                    "--chain async runs on the complete graph; drop "
-                    "--graph or use --chain sync"
-                )
-            fixed["engine"] = "async"
+    if args.chain == "async":
         if graph_sweep:
-            fixed["graph"] = args.graph
-            fixed["graph_seed"] = args.graph_seed
-            if args.edge_probability is not None:
-                fixed["edge_probability"] = args.edge_probability
-            if args.degree:
-                if len(args.degree) > 1:
-                    grid["degree"] = args.degree
-                else:
-                    fixed["degree"] = args.degree[0]
-        elif args.degree or args.edge_probability is not None:
             raise ConfigurationError(
-                "--degree/--edge-probability require --graph NAME"
+                "--chain async runs on the complete graph; drop "
+                "--graph or use --chain sync"
             )
-        if adversarial:
-            if not args.adversary_budget:
-                raise ConfigurationError(
-                    "--adversary requires --adversary-budget F [F...]"
-                )
-            fixed["adversary"] = args.adversary
-            if len(args.adversary_budget) > 1:
-                grid["adversary_budget"] = args.adversary_budget
+        fixed["engine"] = "async"
+    if graph_sweep:
+        fixed["graph"] = args.graph
+        fixed["graph_seed"] = args.graph_seed
+        if args.edge_probability is not None:
+            fixed["edge_probability"] = args.edge_probability
+        if args.degree:
+            if len(args.degree) > 1:
+                grid["degree"] = args.degree
             else:
-                fixed["adversary_budget"] = args.adversary_budget[0]
-        elif args.adversary_budget:
+                fixed["degree"] = args.degree[0]
+    elif args.degree or args.edge_probability is not None:
+        raise ConfigurationError(
+            "--degree/--edge-probability require --graph NAME"
+        )
+    if adversarial:
+        if not args.adversary_budget:
             raise ConfigurationError(
-                "--adversary-budget requires --adversary NAME"
+                "--adversary requires --adversary-budget F [F...]"
             )
+        fixed["adversary"] = args.adversary
+        if len(args.adversary_budget) > 1:
+            grid["adversary_budget"] = args.adversary_budget
+        else:
+            fixed["adversary_budget"] = args.adversary_budget[0]
+    elif args.adversary_budget:
+        raise ConfigurationError(
+            "--adversary-budget requires --adversary NAME"
+        )
+    return grid, fixed
+
+
+def _sweep(args) -> int:
+    from repro.analysis.tables import format_table
+    from repro.sweep import SweepSpec, run_sweep
+
+    graph_sweep = args.graph is not None
+    adversarial = args.adversary is not None
+    try:
+        grid, fixed = _grid_from_args(args)
         spec = SweepSpec(
             grid=grid, num_runs=args.runs, seed=args.seed, fixed=fixed
         )
@@ -625,6 +792,154 @@ def _sweep(args) -> int:
     )
     print(format_table(headers, rows, title=title))
     print(f"elapsed: {wall:.2f}s wall-clock")
+    return 0
+
+
+def _serve(args) -> int:
+    from repro.service import QuotaPolicy, SimulationService
+
+    try:
+        quota = QuotaPolicy(
+            max_jobs=args.quota_jobs,
+            max_points=args.quota_points,
+            max_points_per_job=args.quota_points_per_job,
+        )
+        service = SimulationService(
+            args.db,
+            cache_dir=args.cache,
+            host=args.host,
+            port=args.port,
+            num_workers=args.fleet,
+            quota=quota,
+            job_timeout=args.job_timeout,
+            max_retries=args.max_retries,
+        )
+        service.start()
+    except (ConfigurationError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if service.requeued_orphans:
+        print(
+            f"re-queued {service.requeued_orphans} orphaned running "
+            "job(s) from a previous process"
+        )
+    # The URL line is machine-read by the smoke tests and quickstart
+    # scripts (--port 0 binds an ephemeral port only we know).
+    print(
+        f"serving on {service.url} "
+        f"(db={args.db}, cache={args.cache}, workers={args.fleet})",
+        flush=True,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("draining...", flush=True)
+    finally:
+        service.shutdown()
+    return 0
+
+
+def _print_result_points(payload: dict) -> None:
+    from repro.analysis.tables import format_table
+
+    points = payload["points"]
+    failed = sum(1 for point in points if point["error"] is not None)
+    headers = ["dynamics", "n", "k", "median T", "censored", "runs", "error"]
+    rows = [
+        [
+            point["params"].get("dynamics", "?"),
+            point["params"].get("n", "?"),
+            point["params"].get("k", "?"),
+            "-" if point["median"] is None else point["median"],
+            point["censored"],
+            len(point["values"]),
+            point["error"] or "",
+        ]
+        for point in points
+    ]
+    title = (
+        f"Job {payload['id']}: {len(points)} points"
+        + (f", {failed} failed" if failed else "")
+    )
+    print(format_table(headers, rows, title=title))
+
+
+def _submit(args) -> int:
+    from repro.errors import ReproError
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url, client_id=args.client)
+    try:
+        grid, fixed = _grid_from_args(args)
+        job_id = client.submit(
+            {
+                "grid": grid,
+                "fixed": fixed,
+                "num_runs": args.runs,
+                "seed": args.seed,
+                "measure": args.measure,
+            },
+            priority=args.priority,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"submitted job {job_id}")
+    if not args.wait:
+        print(
+            f"poll with: repro status --url {args.url} {job_id}"
+        )
+        return 0
+    return _poll_and_print(client, job_id, args.timeout)
+
+
+def _status(args) -> int:
+    from repro.errors import ReproError
+    from repro.service import ServiceClient
+
+    try:
+        status = ServiceClient(args.url).status(args.job_id)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+    progress = status["progress"]
+    print(
+        f"job {status['id']}: {status['state']} "
+        f"({progress['done_points']}/{progress['total_points']} points, "
+        f"client={status['client']}, priority={status['priority']}, "
+        f"attempts={status['attempts']})"
+    )
+    if status["error"]:
+        print(f"last error: {status['error']}")
+    return 0 if status["state"] != "failed" else 1
+
+
+def _result(args) -> int:
+    from repro.errors import ReproError
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.wait:
+        return _poll_and_print(client, args.job_id, args.timeout)
+    try:
+        payload = client.result(args.job_id)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+    _print_result_points(payload)
+    return 0
+
+
+def _poll_and_print(client, job_id: str, timeout: float) -> int:
+    from repro.errors import ServiceError
+
+    try:
+        payload = client.wait(job_id, timeout=timeout)
+    except (ServiceError, TimeoutError) as exc:
+        print(f"error: {exc}")
+        return 1
+    _print_result_points(payload)
     return 0
 
 

@@ -47,3 +47,64 @@ class ConsensusNotReached(ReproError, RuntimeError):
 
 class GraphError(ReproError, ValueError):
     """A graph substrate is malformed (e.g. a vertex with no neighbours)."""
+
+
+class SweepPointError(ReproError, RuntimeError):
+    """A grid point's measurement failed inside :func:`run_sweep`.
+
+    Carries the offending point's parameter dict (``params``) so a
+    failed sweep names the exact point that broke instead of surfacing
+    a bare exception after the worker pool drains.  The original
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, params: dict, cause: BaseException) -> None:
+        self.params = dict(params)
+        super().__init__(
+            f"sweep point {self.params!r} failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for simulation-service failures (store, fleet, API)."""
+
+
+class JobNotFound(ServiceError, LookupError):
+    """No job with the requested id exists in the job store."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        super().__init__(f"no job with id {job_id!r}")
+
+
+class InvalidJobState(ServiceError):
+    """An operation is not legal for the job's current state.
+
+    Examples: cancelling a job that already ran, fetching the result of
+    a job that is still queued.
+    """
+
+    def __init__(self, job_id: str, state: str, operation: str) -> None:
+        self.job_id = job_id
+        self.state = state
+        super().__init__(
+            f"cannot {operation} job {job_id!r} in state {state!r}"
+        )
+
+
+class QuotaExceededError(ServiceError):
+    """A client's submission would exceed its per-client quota.
+
+    Raised at admission time with a message naming the client, the
+    exhausted limit and its configured value, so over-limit clients get
+    a clear rejection instead of a silently dropped job.
+    """
+
+
+class JobTimeout(ServiceError):
+    """A leased job exceeded its per-job execution timeout.
+
+    Treated as a *transient* failure by the worker fleet: the job is
+    retried with backoff until its retry budget runs out.
+    """

@@ -1,0 +1,189 @@
+"""HTTP surface of the simulation service (stdlib ``http.server``).
+
+JSON in, JSON out, five routes::
+
+    POST   /jobs               submit a sweep job
+    GET    /jobs/<id>          job status (state, progress, attempts)
+    GET    /jobs/<id>/result   result document of a finished job
+    DELETE /jobs/<id>          cancel a queued job
+    GET    /healthz            queue depth + worker liveness
+
+Error mapping is uniform: bad specs are 400, unknown jobs 404,
+operations illegal in the job's current state 409, quota rejections
+429 — each with a JSON body ``{"error": ..., "type": ...}`` carrying
+the exception's message so clients can show a real reason, not a
+status code.  The handler is deliberately a thin adapter: every
+decision lives in the scheduler/store/fleet, which the test-suite
+exercises directly; the HTTP layer adds only parsing and status codes.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import (
+    ConfigurationError,
+    InvalidJobState,
+    JobNotFound,
+    QuotaExceededError,
+)
+from repro.service.jobs import JobSpec
+
+__all__ = ["ServiceHTTPServer", "make_handler"]
+
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server carrying a reference to the service."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The http.server default backlog of 5 resets connections when a
+    # burst of clients (e.g. a fleet of pollers) connects at once.
+    request_queue_size = 128
+
+    def __init__(self, address, handler, service) -> None:
+        self.service = service
+        super().__init__(address, handler)
+
+
+def make_handler(service) -> type[BaseHTTPRequestHandler]:
+    """Build the request-handler class bound to ``service``.
+
+    ``service`` is a :class:`repro.service.server.SimulationService`;
+    only its ``scheduler``, ``store``, ``fleet`` and
+    ``health_payload()`` are touched.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-service"
+
+        # -- routing -------------------------------------------------
+
+        def do_GET(self) -> None:
+            self._dispatch(self._get)
+
+        def do_POST(self) -> None:
+            self._dispatch(self._post)
+
+        def do_DELETE(self) -> None:
+            self._dispatch(self._delete)
+
+        def _get(self) -> tuple[int, dict]:
+            if self.path == "/healthz":
+                return 200, service.health_payload()
+            job_id, tail = self._job_path()
+            if tail == "":
+                return 200, service.store.get(job_id).status_payload()
+            if tail == "result":
+                return 200, self._result(job_id)
+            raise _NotFound(self.path)
+
+        def _post(self) -> tuple[int, dict]:
+            if self.path != "/jobs":
+                raise _NotFound(self.path)
+            payload = self._read_json()
+            spec = JobSpec.from_mapping(payload.get("spec"))
+            client = payload.get("client")
+            if not isinstance(client, str) or not client:
+                raise ConfigurationError(
+                    "submissions require a non-empty string 'client'"
+                )
+            priority = payload.get("priority", 0)
+            if not isinstance(priority, int):
+                raise ConfigurationError(
+                    f"priority must be an integer, got {priority!r}"
+                )
+            job = service.scheduler.admit(
+                spec, client=client, priority=priority
+            )
+            return 201, job.status_payload()
+
+        def _delete(self) -> tuple[int, dict]:
+            job_id, tail = self._job_path()
+            if tail != "":
+                raise _NotFound(self.path)
+            return 200, service.store.cancel(job_id).status_payload()
+
+        # -- helpers -------------------------------------------------
+
+        def _result(self, job_id: str) -> dict:
+            job = service.store.get(job_id)
+            if job.state != "done":
+                raise InvalidJobState(
+                    job_id, job.state, "fetch the result of"
+                )
+            return {
+                "id": job.id,
+                "state": job.state,
+                "points": job.result,
+            }
+
+        def _job_path(self) -> tuple[str, str]:
+            parts = self.path.strip("/").split("/")
+            if len(parts) < 2 or parts[0] != "jobs" or not parts[1]:
+                raise _NotFound(self.path)
+            return parts[1], "/".join(parts[2:])
+
+        def _read_json(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > _MAX_BODY_BYTES:
+                raise ConfigurationError(
+                    f"request body of {length} bytes exceeds the "
+                    f"{_MAX_BODY_BYTES}-byte limit"
+                )
+            raw = self.rfile.read(length) if length else b""
+            try:
+                payload = json.loads(raw or b"{}")
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"request body is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise ConfigurationError(
+                    "request body must be a JSON object"
+                )
+            return payload
+
+        def _dispatch(self, method) -> None:
+            try:
+                status, body = method()
+            except (_NotFound, JobNotFound) as exc:
+                self._send(404, _error_body(exc))
+            except QuotaExceededError as exc:
+                self._send(429, _error_body(exc))
+            except InvalidJobState as exc:
+                self._send(409, _error_body(exc))
+            except ConfigurationError as exc:
+                self._send(400, _error_body(exc))
+            except Exception as exc:  # pragma: no cover - last resort
+                self._send(500, _error_body(exc))
+            else:
+                self._send(status, body)
+
+        def _send(self, status: int, body: dict) -> None:
+            data = json.dumps(body).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def log_message(self, *args) -> None:
+            # The service logs through its own channel; per-request
+            # stderr chatter would swamp test and benchmark output.
+            pass
+
+    return Handler
+
+
+class _NotFound(Exception):
+    def __init__(self, path: str) -> None:
+        super().__init__(f"no such route: {path}")
+
+
+def _error_body(exc: BaseException) -> dict:
+    return {"error": str(exc), "type": type(exc).__name__}

@@ -1,0 +1,156 @@
+"""Thin HTTP client for the simulation service (stdlib ``urllib``).
+
+:class:`ServiceClient` speaks the submit/poll/result protocol and maps
+the service's JSON error envelopes back onto the library's exception
+hierarchy, so driving a remote service feels like calling the library:
+a quota rejection raises :class:`~repro.errors.QuotaExceededError`, an
+unknown job :class:`~repro.errors.JobNotFound`, a result requested too
+early :class:`~repro.errors.InvalidJobState` — the same types the
+in-process scheduler and store raise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import (
+    ConfigurationError,
+    InvalidJobState,
+    JobNotFound,
+    QuotaExceededError,
+    ServiceError,
+)
+from repro.service.jobs import JobSpec
+
+__all__ = ["ServiceClient"]
+
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "ConfigurationError": ConfigurationError,
+    "QuotaExceededError": QuotaExceededError,
+    "InvalidJobState": InvalidJobState,
+    "JobNotFound": JobNotFound,
+}
+
+
+class ServiceClient:
+    """Submit, poll, fetch and cancel jobs against a running service."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        client_id: str = "default",
+        timeout: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- protocol verbs ----------------------------------------------
+
+    def submit(
+        self,
+        spec: JobSpec | dict,
+        *,
+        priority: int = 0,
+        client_id: str | None = None,
+    ) -> str:
+        """Submit a sweep job; returns the new job's id."""
+        if isinstance(spec, JobSpec):
+            spec = json.loads(spec.canonical_json())
+        payload = {
+            "client": client_id or self.client_id,
+            "priority": priority,
+            "spec": spec,
+        }
+        return self._request("POST", "/jobs", payload)["id"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """Result document of a finished job (409 until it is done)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 60.0,
+        poll_interval: float = 0.05,
+    ) -> dict:
+        """Poll until the job leaves the queue/worker, return its result.
+
+        Raises :class:`ServiceError` if the job fails or is cancelled,
+        :class:`TimeoutError` if it is still unfinished at ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            state = status["state"]
+            if state == "done":
+                return self.result(job_id)
+            if state in ("failed", "cancelled"):
+                raise ServiceError(
+                    f"job {job_id} ended {state}: {status.get('error')}"
+                )
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state} after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    # -- transport ---------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> dict:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            method=method,
+            data=(
+                json.dumps(payload).encode()
+                if payload is not None
+                else None
+            ),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            raise _mapped_error(exc) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+
+def _mapped_error(exc: urllib.error.HTTPError) -> Exception:
+    """Rebuild the library exception the service reported."""
+    try:
+        body = json.loads(exc.read() or b"{}")
+    except (json.JSONDecodeError, OSError):
+        body = {}
+    message = body.get("error") or f"HTTP {exc.code}"
+    error_type = _ERROR_TYPES.get(body.get("type", ""))
+    if error_type is JobNotFound or error_type is InvalidJobState:
+        # Their constructors take structured arguments the envelope
+        # does not carry; re-raise with the flat message instead.
+        rebuilt = error_type.__new__(error_type)
+        Exception.__init__(rebuilt, message)
+        return rebuilt
+    if error_type is not None:
+        return error_type(message)
+    return ServiceError(f"HTTP {exc.code}: {message}")

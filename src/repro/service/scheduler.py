@@ -1,0 +1,112 @@
+"""Admission control and job scheduling policy.
+
+The store executes the *mechanics* of leasing (atomic claim inside one
+transaction); this module owns the *policy*:
+
+* :class:`QuotaPolicy` — per-client limits on concurrently queued work,
+  in two currencies: jobs and grid points (a 2-point job and a
+  2000-point job are not the same load).  Over-limit submissions are
+  rejected at admission time with a clear
+  :class:`~repro.errors.QuotaExceededError` naming the client, the
+  exhausted limit and the configured ceiling.
+* :class:`Scheduler` — the admit/lease facade the HTTP API and worker
+  fleet talk to.  Priority ordering and fair-share tie-breaking live in
+  the store's ``lease_next`` query (claim-and-order must be one
+  transaction); the scheduler documents and fronts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, QuotaExceededError
+from repro.service.jobs import Job, JobSpec
+from repro.service.store import JobStore
+
+__all__ = ["QuotaPolicy", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Per-client ceilings on *active* (queued + running) work.
+
+    ``max_jobs`` bounds how many jobs a client may have in flight;
+    ``max_points`` bounds the total grid points those jobs add up to.
+    ``max_points_per_job`` bounds a single submission, so one giant
+    grid cannot monopolise a worker for hours regardless of how empty
+    the client's queue is.  ``None`` disables a limit.
+    """
+
+    max_jobs: int | None = 16
+    max_points: int | None = 512
+    max_points_per_job: int | None = 256
+
+    def __post_init__(self) -> None:
+        for name in ("max_jobs", "max_points", "max_points_per_job"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigurationError(
+                    f"{name} must be None or >= 1, got {value}"
+                )
+
+    def check(
+        self, spec: JobSpec, *, client: str, store: JobStore
+    ) -> None:
+        """Raise :class:`QuotaExceededError` if admission would break a limit."""
+        points = spec.num_points
+        if (
+            self.max_points_per_job is not None
+            and points > self.max_points_per_job
+        ):
+            raise QuotaExceededError(
+                f"client {client!r}: job has {points} grid points, "
+                f"exceeding the per-job limit of "
+                f"{self.max_points_per_job}"
+            )
+        active_jobs, active_points = store.active_load(client)
+        if self.max_jobs is not None and active_jobs >= self.max_jobs:
+            raise QuotaExceededError(
+                f"client {client!r}: already has {active_jobs} active "
+                f"jobs, the per-client limit of {self.max_jobs}"
+            )
+        if (
+            self.max_points is not None
+            and active_points + points > self.max_points
+        ):
+            raise QuotaExceededError(
+                f"client {client!r}: {active_points} active grid "
+                f"points + {points} submitted would exceed the "
+                f"per-client limit of {self.max_points}"
+            )
+
+
+class Scheduler:
+    """Admission + leasing facade over the job store.
+
+    ``admit`` holds the store lock across the quota check and the
+    insert, so two racing submissions from one client cannot both slip
+    under the limit.  ``lease`` hands workers the store's
+    priority-then-fair-share-then-FIFO choice.
+    """
+
+    def __init__(
+        self, store: JobStore, quota: QuotaPolicy | None = None
+    ) -> None:
+        self.store = store
+        self.quota = quota if quota is not None else QuotaPolicy()
+
+    def admit(
+        self, spec: JobSpec, *, client: str, priority: int = 0
+    ) -> Job:
+        if not client:
+            raise ConfigurationError(
+                "submissions must carry a non-empty client id"
+            )
+        with self.store._lock:
+            self.quota.check(spec, client=client, store=self.store)
+            return self.store.submit(
+                spec, client=client, priority=priority
+            )
+
+    def lease(self, worker: str) -> Job | None:
+        return self.store.lease_next(worker)

@@ -1,0 +1,130 @@
+"""Service assembly: store + scheduler + fleet + HTTP front end.
+
+:class:`SimulationService` wires the pieces into one long-running
+object with a small lifecycle: ``start()`` re-queues orphaned jobs
+from a previous process, starts the worker fleet and (optionally) the
+threaded HTTP server; ``shutdown()`` drains the fleet gracefully and
+closes the store.  Also usable as a context manager::
+
+    with SimulationService(db_path, cache_dir=..., port=0) as service:
+        client = ServiceClient(service.url)
+        ...
+
+``port=0`` binds an ephemeral port — ``service.port`` / ``service.url``
+report the bound address, which is how tests, the smoke-test CI job and
+the benchmark run many services side by side without collisions.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.service.api import ServiceHTTPServer, make_handler
+from repro.service.scheduler import QuotaPolicy, Scheduler
+from repro.service.store import JobStore
+from repro.service.workers import JobRunner, WorkerFleet
+
+__all__ = ["SimulationService"]
+
+
+class SimulationService:
+    """A multi-tenant sweep service over one store and result cache."""
+
+    def __init__(
+        self,
+        db_path: str | Path,
+        *,
+        cache_dir: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = 0,
+        num_workers: int = 2,
+        quota: QuotaPolicy | None = None,
+        job_timeout: float | None = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.25,
+        runner: JobRunner | None = None,
+    ) -> None:
+        self.store = JobStore(db_path)
+        self.scheduler = Scheduler(self.store, quota)
+        self.fleet = WorkerFleet(
+            self.store,
+            self.scheduler,
+            cache_dir=cache_dir,
+            num_workers=num_workers,
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            backoff_base=backoff_base,
+            runner=runner,
+        )
+        self._host = host
+        self._port = port
+        self._httpd: ServiceHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+        self.requeued_orphans = 0
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> "SimulationService":
+        """Recover orphans, start workers, bind and serve HTTP."""
+        self.requeued_orphans = self.store.requeue_orphans()
+        self.fleet.start()
+        if self._port is not None:
+            self._httpd = ServiceHTTPServer(
+                (self._host, self._port), make_handler(self), self
+            )
+            self._http_thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-service-http",
+                daemon=True,
+            )
+            self._http_thread.start()
+        return self
+
+    def shutdown(self, *, drain_timeout: float | None = 30.0) -> None:
+        """Stop serving, drain in-flight jobs, close the store."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            if self._http_thread is not None:
+                self._http_thread.join(5.0)
+            self._httpd = None
+            self._http_thread = None
+        self.fleet.drain(drain_timeout)
+        self.store.close()
+
+    def __enter__(self) -> "SimulationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- observability -----------------------------------------------
+
+    @property
+    def port(self) -> int | None:
+        if self._httpd is None:
+            return None
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        if self._httpd is None:
+            raise RuntimeError("HTTP server is not running")
+        return f"http://{self._host}:{self.port}"
+
+    def health_payload(self) -> dict:
+        """The ``GET /healthz`` document."""
+        counts = self.store.stats()
+        workers = self.fleet.health()
+        healthy = (
+            workers["alive"] == workers["configured"]
+            and not workers["draining"]
+        )
+        return {
+            "status": "ok" if healthy else "degraded",
+            "queue_depth": counts["queued"],
+            "running": counts["running"],
+            "jobs": counts,
+            "workers": workers,
+        }

@@ -1,0 +1,253 @@
+"""Worker fleet: leased execution of sweep jobs with health accounting.
+
+A :class:`WorkerFleet` runs a pool of daemon threads.  Each worker
+loops: lease the best queued job from the scheduler, execute it through
+the ordinary batch-first sweep path (:func:`repro.sweep.run_sweep` with
+``on_error="skip"``, so per-point failures become structured entries in
+the result instead of aborting the job), and record the outcome in the
+store.  While a job runs, the worker emits heartbeats — both
+periodically and per finished grid point (which doubles as progress
+reporting) — so ``GET /healthz`` and job status always reflect live
+workers, not wishful thinking.
+
+Failure handling distinguishes *permanent* errors (a
+:class:`~repro.errors.ConfigurationError` — the job can never succeed,
+fail it now) from *transient* ones (anything else, including the
+per-job :class:`~repro.errors.JobTimeout`): transient failures are
+retried with exponential backoff until the retry budget is exhausted.
+Because finished points live in the shared sweep cache, a retried job
+resumes instead of restarting.
+
+Shutdown is a graceful drain: workers finish the job in hand, stop
+leasing new ones, and join.  A worker killed mid-job (process death)
+leaves a ``running`` row behind; the store re-queues such orphans at
+the next service startup.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.errors import ConfigurationError, JobTimeout
+from repro.service.jobs import Job
+from repro.service.scheduler import Scheduler
+from repro.service.store import JobStore
+from repro.sweep import run_sweep
+
+__all__ = ["WorkerFleet", "run_sweep_job"]
+
+#: A job runner: ``(job, progress) -> result document`` where
+#: ``progress(done, total)`` reports finished grid points.  Injectable
+#: so tests can exercise timeout/retry paths without real sweeps.
+JobRunner = Callable[[Job, Callable[[int, int], None]], list]
+
+
+def _jsonable(value: float) -> float | None:
+    """NaN → None so result documents stay strict JSON."""
+    return None if math.isnan(value) else float(value)
+
+
+def run_sweep_job(
+    job: Job,
+    progress: Callable[[int, int], None],
+    *,
+    cache_dir: str | Path | None,
+) -> list:
+    """Execute one job through the batch-first sweep driver.
+
+    Results land in (and resume from) the shared on-disk point cache:
+    two jobs measuring overlapping grids share work, and a retried or
+    re-submitted job re-serves finished points without re-running them.
+    Per-point failures are recorded (``on_error="skip"``), so the
+    result document always covers the full grid.
+    """
+    points = run_sweep(
+        job.spec.to_sweep_spec(),
+        cache_dir=cache_dir,
+        measure=job.spec.measure,
+        on_error="skip",
+        progress=lambda done, total, _point: progress(done, total),
+    )
+    return [
+        {
+            "params": point.params,
+            "values": [_jsonable(v) for v in point.values],
+            "median": _jsonable(point.median),
+            "censored": point.censored,
+            "error": point.error,
+        }
+        for point in points
+    ]
+
+
+class WorkerFleet:
+    """A pool of leasing worker threads over one store + scheduler."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        scheduler: Scheduler,
+        *,
+        cache_dir: str | Path | None = None,
+        num_workers: int = 2,
+        job_timeout: float | None = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.25,
+        heartbeat_interval: float = 0.5,
+        poll_interval: float = 0.05,
+        runner: JobRunner | None = None,
+        name: str = "worker",
+    ) -> None:
+        if num_workers < 0:
+            raise ConfigurationError(
+                f"num_workers must be >= 0, got {num_workers}"
+            )
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        self.store = store
+        self.scheduler = scheduler
+        self.cache_dir = cache_dir
+        self.num_workers = num_workers
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.heartbeat_interval = heartbeat_interval
+        self.poll_interval = poll_interval
+        self._runner = runner
+        self._name = name
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("fleet already started")
+        self._stop.clear()
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(f"{self._name}-{index}",),
+                name=f"{self._name}-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop leasing, let in-flight jobs finish, join the workers.
+
+        Returns True when every worker exited within ``timeout``.
+        """
+        self._stop.set()
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        for thread in self._threads:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+        alive = any(t.is_alive() for t in self._threads)
+        if not alive:
+            self._threads.clear()
+        return not alive
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for t in self._threads if t.is_alive())
+
+    def health(self) -> dict:
+        return {
+            "configured": self.num_workers,
+            "alive": self.alive_workers,
+            "draining": self._stop.is_set(),
+        }
+
+    # -- execution ---------------------------------------------------
+
+    def _worker_loop(self, worker_id: str) -> None:
+        while not self._stop.is_set():
+            job = self.scheduler.lease(worker_id)
+            if job is None:
+                self._stop.wait(self.poll_interval)
+                continue
+            self._run_leased(worker_id, job)
+
+    def _run_leased(self, worker_id: str, job: Job) -> None:
+        abandoned = threading.Event()
+
+        def progress(done: int, total: int) -> None:
+            # Raising here terminates a zombie runner thread at its
+            # next point boundary after the lease timed out — its
+            # late results must never land on a re-queued job.
+            if abandoned.is_set():
+                raise JobTimeout(
+                    f"job {job.id} abandoned after timeout"
+                )
+            self.store.record_heartbeat(job.id, done_points=done)
+
+        outcome: dict = {}
+
+        def _invoke() -> None:
+            runner = self._runner
+            try:
+                if runner is None:
+                    outcome["result"] = run_sweep_job(
+                        job, progress, cache_dir=self.cache_dir
+                    )
+                else:
+                    outcome["result"] = runner(job, progress)
+            except BaseException as exc:  # recorded, never swallowed
+                outcome["error"] = exc
+
+        thread = threading.Thread(
+            target=_invoke, name=f"{worker_id}:{job.id}", daemon=True
+        )
+        started = time.monotonic()
+        thread.start()
+        while thread.is_alive():
+            thread.join(self.heartbeat_interval)
+            if not thread.is_alive():
+                break
+            self.store.record_heartbeat(job.id)
+            if (
+                self.job_timeout is not None
+                and time.monotonic() - started > self.job_timeout
+            ):
+                abandoned.set()
+                self._record_failure(
+                    job,
+                    JobTimeout(
+                        f"job {job.id} exceeded its "
+                        f"{self.job_timeout:g}s timeout"
+                    ),
+                )
+                return
+        error = outcome.get("error")
+        if error is None:
+            self.store.complete(job.id, outcome["result"])
+        else:
+            self._record_failure(job, error)
+
+    def _record_failure(
+        self, job: Job, error: BaseException
+    ) -> None:
+        """Terminal fail, or retry-with-backoff for transient errors."""
+        message = f"{type(error).__name__}: {error}"
+        transient = not isinstance(error, ConfigurationError)
+        if transient and job.attempts < self.max_retries:
+            delay = self.backoff_base * (2**job.attempts)
+            self.store.fail(
+                job.id, message, retry_at=time.time() + delay
+            )
+        else:
+            self.store.fail(job.id, message)

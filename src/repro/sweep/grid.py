@@ -37,6 +37,7 @@ import hashlib
 import itertools
 import json
 import math
+import os
 from collections.abc import Callable, Mapping
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -52,7 +53,7 @@ from repro.engine import (
     get_engine,
     run_until_consensus,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepPointError
 from repro.graphs import make_graph
 from repro.seeding import RandomState, spawn_generators
 from repro.simulation import SimulationSpec, execute
@@ -331,10 +332,23 @@ def consensus_times_point_batch(
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One measured grid point: parameters plus per-seed values."""
+    """One measured grid point: parameters plus per-seed values.
+
+    ``error`` is non-None only when the point was measured under
+    ``run_sweep(on_error="skip")`` and its measurement raised: the
+    point then carries the failure message instead of values, so a
+    partially failed sweep returns structured per-point errors rather
+    than aborting (the service layer depends on this).
+    """
 
     params: dict
     values: tuple[float, ...]
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this point's measurement raised instead of returning."""
+        return self.error is not None
 
     @property
     def median(self) -> float:
@@ -438,6 +452,24 @@ def _measure_point_batch(
     return tuple(float(value) for value in values)
 
 
+def _write_point_atomic(cache_file: Path, payload: dict) -> None:
+    """Write a point's cache entry via temp-file + ``os.replace``.
+
+    Two workers (or two service processes) resuming the same cache dir
+    may race on one point; a plain ``write_text`` could interleave a
+    torn JSON write that poisons the cache for every later resume.
+    ``os.replace`` is atomic on POSIX and Windows within a filesystem,
+    so readers only ever observe a complete document — last writer
+    wins, and both writers produce the same values anyway because the
+    point owns its seed stream.
+    """
+    tmp = cache_file.with_name(
+        f".{cache_file.name}.{os.getpid()}.tmp"
+    )
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, cache_file)
+
+
 def run_sweep(
     spec: SweepSpec,
     point_function: PointFunction = consensus_time_point,
@@ -445,12 +477,29 @@ def run_sweep(
     workers: int | None = None,
     measure: str | None = None,
     batch_point_function: BatchPointFunction | None = None,
+    on_error: str = "raise",
+    progress: Callable[[int, int, SweepPoint], None] | None = None,
 ) -> list[SweepPoint]:
     """Measure every grid point, loading cached points where present.
 
     Seeds are derived per point from ``(spec.seed entropy, point key)``
     so a point's result is independent of the rest of the grid — adding
     grid values later never changes previously measured points.
+
+    ``on_error`` controls what a failing point does to the sweep:
+    ``"raise"`` (default) finishes and caches every other point, then
+    raises :class:`~repro.errors.SweepPointError` naming the offending
+    point's parameter dict (the original exception is chained);
+    ``"skip"`` records the failure on the returned
+    :class:`SweepPoint` (``error`` set, no values, never cached) and
+    keeps going — the long-running service layer measures jobs this
+    way so one broken point cannot abort a whole submission.
+
+    ``progress`` (when given) is called as ``progress(done, total,
+    point)`` after each point lands — including points served from the
+    cache — so job-sized sweeps can report per-point progress and
+    heartbeats to an external store.  Exceptions from the callback
+    propagate; keep it cheap and non-raising.
 
     ``measure`` selects how a point's ``num_runs`` replicas are
     evaluated: ``"batch"`` (one vectorised engine run per point, via
@@ -479,6 +528,10 @@ def run_sweep(
         raise ConfigurationError(
             f"workers must be a positive count, got {workers}"
         )
+    if on_error not in ("raise", "skip"):
+        raise ConfigurationError(
+            f"on_error must be 'raise' or 'skip', got {on_error!r}"
+        )
     if measure is None:
         if batch_point_function is not None:
             measure = "batch"
@@ -503,19 +556,29 @@ def run_sweep(
         cache.mkdir(parents=True, exist_ok=True)
     base_entropy = _seed_entropy(spec.seed)
 
+    all_points = spec.points()
+    total = len(all_points)
+    done = 0
+
+    def _advance(point: SweepPoint) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total, point)
+
     results: list[SweepPoint | None] = []
     pending: list[tuple[int, dict, Path | None, list[int]]] = []
-    for params in spec.points():
+    for params in all_points:
         key = _point_key(params, measure)
         cache_file = cache / f"{key}.json" if cache is not None else None
         if cache_file is not None and cache_file.exists():
             payload = json.loads(cache_file.read_text())
-            results.append(
-                SweepPoint(
-                    params=payload["params"],
-                    values=tuple(payload["values"]),
-                )
+            point = SweepPoint(
+                params=payload["params"],
+                values=tuple(payload["values"]),
             )
+            results.append(point)
+            _advance(point)
             continue
         entropy = base_entropy + [int(key[:12], 16)]
         results.append(None)
@@ -532,19 +595,33 @@ def run_sweep(
     def _finish(entry, values) -> None:
         # Cache files are written per point, as soon as its values are
         # in hand, so an interrupted sweep keeps every finished point.
+        # Writes go through temp-then-replace: concurrent resumers of
+        # one cache dir can never observe a torn JSON document.
         index, params, cache_file, _ = entry
         point = SweepPoint(params=params, values=values)
         if cache_file is not None:
-            cache_file.write_text(
-                json.dumps(
-                    {
-                        "params": point.params,
-                        "values": list(values),
-                        "measure": measure,
-                    }
-                )
+            _write_point_atomic(
+                cache_file,
+                {
+                    "params": point.params,
+                    "values": list(values),
+                    "measure": measure,
+                },
             )
         results[index] = point
+        _advance(point)
+
+    def _finish_failed(entry, exc: Exception) -> None:
+        # A skipped failure is recorded on the point, never cached —
+        # a later resume retries it instead of replaying the error.
+        index, params, _, _ = entry
+        point = SweepPoint(
+            params=params,
+            values=(),
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        results[index] = point
+        _advance(point)
 
     if workers is not None and workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -560,23 +637,32 @@ def run_sweep(
             # rest still land in the cache before the error surfaces.
             # Only Exception is collected — KeyboardInterrupt and
             # friends must abort the sweep immediately.
-            first_error: Exception | None = None
+            first_error: SweepPointError | None = None
             for future in as_completed(future_entries):
+                entry = future_entries[future]
                 try:
                     values = future.result()
                 except Exception as exc:
-                    if first_error is None:
-                        first_error = exc
+                    if on_error == "skip":
+                        _finish_failed(entry, exc)
+                    elif first_error is None:
+                        first_error = SweepPointError(entry[1], exc)
+                        first_error.__cause__ = exc
                     continue
-                _finish(future_entries[future], values)
+                _finish(entry, values)
             if first_error is not None:
                 raise first_error
     else:
         for entry in pending:
             _, params, _, entropy = entry
-            _finish(
-                entry, measure_fn(fn, params, entropy, spec.num_runs)
-            )
+            try:
+                values = measure_fn(fn, params, entropy, spec.num_runs)
+            except Exception as exc:
+                if on_error == "skip":
+                    _finish_failed(entry, exc)
+                    continue
+                raise SweepPointError(params, exc) from exc
+            _finish(entry, values)
     return results  # type: ignore[return-value]
 
 

@@ -487,6 +487,101 @@ class TestReport:
         assert "| verdict |" in body
 
 
+class TestServiceVerbs:
+    @pytest.fixture
+    def service(self, tmp_path):
+        from repro.service import SimulationService
+
+        with SimulationService(
+            tmp_path / "jobs.db",
+            cache_dir=tmp_path / "cache",
+            num_workers=1,
+        ) as svc:
+            yield svc
+
+    def test_submit_wait_status_result(self, service, capsys):
+        assert (
+            main(
+                [
+                    "submit",
+                    "--url", service.url,
+                    "--n", "64", "128",
+                    "--k", "2",
+                    "--runs", "2",
+                    "--seed", "1",
+                    "--wait",
+                    "--timeout", "60",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "submitted job" in out
+        assert "median T" in out
+        job_id = out.split("submitted job ")[1].split()[0]
+
+        assert main(["status", "--url", service.url, job_id]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "2/2 points" in out
+
+        assert main(["result", "--url", service.url, job_id]) == 0
+        out = capsys.readouterr().out
+        assert "3-majority" in out
+        assert "median T" in out
+
+    def test_submit_without_wait_prints_poll_hint(
+        self, service, capsys
+    ):
+        assert (
+            main(
+                [
+                    "submit",
+                    "--url", service.url,
+                    "--n", "64",
+                    "--k", "2",
+                    "--runs", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "repro status --url" in out
+
+    def test_status_unknown_job_exit_2(self, service, capsys):
+        assert main(["status", "--url", service.url, "nope"]) == 2
+        assert "no job" in capsys.readouterr().out
+
+    def test_submit_bad_grid_exit_2(self, service, capsys):
+        # --degree without --graph: same validation as local sweep.
+        assert (
+            main(
+                [
+                    "submit",
+                    "--url", service.url,
+                    "--n", "64",
+                    "--k", "2",
+                    "--degree", "4",
+                ]
+            )
+            == 2
+        )
+        assert "--graph" in capsys.readouterr().out
+
+    def test_unreachable_service_exit_2(self, capsys):
+        assert (
+            main(
+                [
+                    "status",
+                    "--url", "http://127.0.0.1:9",  # discard port
+                    "whatever",
+                ]
+            )
+            == 2
+        )
+        assert "cannot reach" in capsys.readouterr().out
+
+
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])

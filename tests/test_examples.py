@@ -36,6 +36,7 @@ def test_expected_examples_present():
         "crossover_study.py",
         "plurality_voting.py",
         "quickstart.py",
+        "service_quickstart.py",
         "undecided_dynamics.py",
     ]
 
@@ -93,3 +94,15 @@ def test_undecided_helpers():
     module.RUNS = 2
     assert module.synchronous_rounds(2) > 0
     assert module.pairwise_parallel_time(2) > 0
+
+
+def test_service_quickstart_runs(capsys):
+    module = _load("service_quickstart.py")
+    module.GRID_A = {"n": [64, 128], "k": [2]}
+    module.GRID_B = {"n": [128, 256], "k": [2]}
+    module.NUM_RUNS = 2
+    module.main()
+    out = capsys.readouterr().out
+    assert "cache hit" in out
+    assert "rejected:" in out
+    assert "status=ok" in out

@@ -31,6 +31,18 @@ def _explodes_on_x3(params, rng):
     return float(params["x"])
 
 
+def _hammer_shared_cache(args):
+    """Run one full sweep against a shared cache dir (subprocess)."""
+    cache_dir, grid_size = args
+    spec = SweepSpec(
+        grid={"x": list(range(grid_size))}, num_runs=2, seed=0
+    )
+    points = run_sweep(
+        spec, point_function=_cheap_point, cache_dir=cache_dir
+    )
+    return [point.values for point in points]
+
+
 class TestSweepSpec:
     def test_points_cartesian(self):
         spec = SweepSpec(grid={"a": [1, 2], "b": ["x", "y"]})
@@ -205,6 +217,131 @@ class TestRunSweep:
         spec = SweepSpec(grid={"x": [1]})
         with pytest.raises(ConfigurationError, match="workers"):
             run_sweep(spec, point_function=_cheap_point, workers=0)
+
+    def test_rejects_bad_on_error(self):
+        spec = SweepSpec(grid={"x": [1]})
+        with pytest.raises(ConfigurationError, match="on_error"):
+            run_sweep(
+                spec, point_function=_cheap_point, on_error="ignore"
+            )
+
+    def test_raise_names_the_offending_point(self):
+        """A failing point must identify itself, not raise bare."""
+        from repro.errors import SweepPointError
+
+        spec = SweepSpec(grid={"x": [1, 2, 3]}, num_runs=1, seed=0)
+        with pytest.raises(SweepPointError, match="'x': 3") as info:
+            run_sweep(spec, point_function=_explodes_on_x3)
+        assert info.value.params == {"x": 3}
+        assert isinstance(info.value.__cause__, RuntimeError)
+        assert "boom" in str(info.value)
+
+    def test_parallel_raise_names_the_offending_point(self):
+        from repro.errors import SweepPointError
+
+        spec = SweepSpec(grid={"x": [1, 2, 3]}, num_runs=1, seed=0)
+        with pytest.raises(SweepPointError, match="'x': 3"):
+            run_sweep(
+                spec, point_function=_explodes_on_x3, workers=2
+            )
+
+    def test_skip_records_failure_and_keeps_going(self, tmp_path):
+        spec = SweepSpec(grid={"x": [1, 2, 3, 4]}, num_runs=1, seed=0)
+        points = run_sweep(
+            spec,
+            point_function=_explodes_on_x3,
+            cache_dir=tmp_path,
+            on_error="skip",
+        )
+        assert [p.params["x"] for p in points] == [1, 2, 3, 4]
+        failed = points[2]
+        assert failed.failed
+        assert "boom" in failed.error
+        assert failed.values == ()
+        assert np.isnan(failed.median)
+        assert all(not p.failed for i, p in enumerate(points) if i != 2)
+        # Failures are never cached: a resume retries the point.
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_skip_parallel(self, tmp_path):
+        spec = SweepSpec(grid={"x": [1, 2, 3, 4]}, num_runs=1, seed=0)
+        points = run_sweep(
+            spec,
+            point_function=_explodes_on_x3,
+            cache_dir=tmp_path,
+            on_error="skip",
+            workers=2,
+        )
+        assert [p.failed for p in points] == [
+            False, False, True, False,
+        ]
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_progress_reports_every_point(self, tmp_path):
+        spec = SweepSpec(grid={"x": [1, 2, 3]}, num_runs=1, seed=0)
+        run_sweep(
+            spec, point_function=_cheap_point, cache_dir=tmp_path
+        )
+        calls = []
+        # Second run: all three points come from the cache and must
+        # still be reported.
+        points = run_sweep(
+            spec,
+            point_function=_cheap_point,
+            cache_dir=tmp_path,
+            progress=lambda done, total, point: calls.append(
+                (done, total, point.params["x"])
+            ),
+        )
+        assert [c[:2] for c in calls] == [(1, 3), (2, 3), (3, 3)]
+        assert [c[2] for c in calls] == [1, 2, 3]
+        assert len(points) == 3
+
+    def test_progress_counts_skipped_failures(self):
+        spec = SweepSpec(grid={"x": [1, 2, 3]}, num_runs=1, seed=0)
+        calls = []
+        run_sweep(
+            spec,
+            point_function=_explodes_on_x3,
+            on_error="skip",
+            progress=lambda done, total, point: calls.append(done),
+        )
+        assert calls == [1, 2, 3]
+
+    def test_atomic_cache_write_leaves_no_temp_files(self, tmp_path):
+        spec = SweepSpec(grid={"x": [1, 2]}, num_runs=1, seed=0)
+        run_sweep(
+            spec, point_function=_cheap_point, cache_dir=tmp_path
+        )
+        assert not list(tmp_path.glob("*.tmp"))
+        assert not list(tmp_path.glob(".*"))
+
+    def test_two_processes_hammering_one_cache_dir(self, tmp_path):
+        """Concurrent resumers must never interleave a torn write.
+
+        Two subprocesses run the same sweep against one cache dir at
+        the same time; afterwards every cache file must parse as
+        complete JSON and both processes must have computed identical
+        values (each point owns its seed stream, so last-writer-wins
+        races are value-neutral).
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        grid_size = 12
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            results = list(
+                pool.map(
+                    _hammer_shared_cache,
+                    [(str(tmp_path), grid_size)] * 2,
+                )
+            )
+        assert results[0] == results[1]
+        cache_files = list(tmp_path.glob("*.json"))
+        assert len(cache_files) == grid_size
+        for path in cache_files:
+            payload = json.loads(path.read_text())  # must not be torn
+            assert len(payload["values"]) == 2
+        assert not list(tmp_path.glob("*.tmp"))
 
     def test_parallel_failure_keeps_finished_points(self, tmp_path):
         """A failing point must not lose the other finished points.
