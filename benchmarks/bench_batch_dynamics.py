@@ -9,10 +9,15 @@ dynamics, and guards the catalogue against regressions:
   dynamics' vectorised batch step against the base-class row-loop
   fallback at R = 64, n = 10^5, on a fixed pre-consensus configuration
   (the engine freezes finished rows, so pre-consensus stepping is the
-  honest unit of work).  Asserts the headline ≥5x for Median and
-  Undecided-State; h-Majority's O(n h^2) counting work dominates both
-  paths at this size, so its (modest) speedup is reported for
-  trend-watching but not asserted.
+  honest unit of work).  The row-loop baseline is pinned to the
+  ``numpy`` compute backend (an ambient JIT backend would accelerate
+  the baseline's primitives too and flatten every ratio) while the
+  vectorised path runs under the session default.  Asserts the
+  headline ≥5x for Median and Undecided-State; on NumPy-only hosts
+  h-Majority's O(n h^2) counting work dominates both paths at this
+  size so its speedup is reported unasserted, but when the ``numba``
+  backend is the default its fused counting kernel carries the batch
+  path and the ≥5x floor is asserted there too.
 * ``test_no_row_loop_fallback`` — fails if any catalogued dynamics
   loses its ``population_step_batch`` override and silently degrades to
   the row loop.
@@ -28,6 +33,7 @@ import numpy as np
 
 from conftest import write_bench_json
 from repro.analysis.tables import format_table
+from repro.backends import default_backend, use_backend
 from repro.configs import balanced
 from repro.core import (
     Dynamics,
@@ -44,6 +50,11 @@ N = 100_000
 K = 16
 REPLICAS = 64
 
+#: h-Majority's floor only bites once the fused numba counting kernel
+#: is carrying the batch path; on NumPy-only hosts both paths pay the
+#: same O(n h^2) counting work and the ratio hovers near 1.
+HMAJORITY_FLOOR = 5.0 if default_backend().name == "numba" else None
+
 #: (label, dynamics, start vector, timed rounds, asserted floor).
 #: Round counts are tuned so each case runs long enough to time stably
 #: but stays pre-consensus at n = 10^5.
@@ -56,7 +67,7 @@ CASES = (
         100,
         5.0,
     ),
-    ("5-majority", HMajority(5), balanced(N, K), 2, None),
+    ("5-majority", HMajority(5), balanced(N, K), 2, HMAJORITY_FLOOR),
     ("3-majority", ThreeMajority(), balanced(N, K), 100, None),
 )
 
@@ -65,18 +76,22 @@ def _per_round_seconds(dynamics, matrix, rounds, vectorised) -> float:
     rng = np.random.default_rng(0)
     if vectorised:
         step = dynamics.population_step_batch
+        backend = None  # session default (numba when installed)
     else:
+        backend = "numpy"  # keep the baseline an honest reference
+
         # The inherited row loop, even when the subclass overrides it.
         def step(counts, generator):
             return Dynamics.population_step_batch(
                 dynamics, counts, generator
             )
 
-    step(matrix, rng)  # warm-up (allocator, lazy imports)
-    started = time.perf_counter()
-    for _ in range(rounds):
-        step(matrix, rng)
-    return (time.perf_counter() - started) / rounds
+    with use_backend(backend):
+        step(matrix, rng)  # warm-up (allocator, lazy imports, JIT)
+        started = time.perf_counter()
+        for _ in range(rounds):
+            step(matrix, rng)
+        return (time.perf_counter() - started) / rounds
 
 
 def _study() -> dict:

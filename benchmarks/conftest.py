@@ -30,6 +30,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.comparison import render_comparisons_markdown
+from repro.backends import default_backend
 from repro.experiments.registry import run_experiment
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -71,9 +72,15 @@ def write_bench_json(
     merged, so an extra key can never clobber a headline field), and
     the ``git_sha`` the numbers were measured at — everything a
     cross-PR perf tracker needs to plot a trajectory without parsing
-    CI logs.
+    CI logs.  Every document also records the ``backend`` the run
+    defaulted to (see :mod:`repro.backends`), so numpy-job and
+    numba-job artefacts from the same commit stay distinguishable.
     """
-    payload: dict = {"name": name, "git_sha": _git_sha()}
+    payload: dict = {
+        "name": name,
+        "git_sha": _git_sha(),
+        "backend": default_backend().name,
+    }
     if speedup is not None:
         payload["speedup"] = round(float(speedup), 3)
     if baseline_seconds is not None:

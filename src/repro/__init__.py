@@ -28,6 +28,8 @@ Package map
 -----------
 ``repro.core``        the dynamics (3-Majority, 2-Choices, h-Majority,
                       undecided, voter, median);
+``repro.backends``    pluggable compute backends (``numpy`` reference,
+                      opt-in ``numba`` JIT kernels for the hot paths);
 ``repro.engine``      exact population engine, agent engine, async
                       engine, vectorised batch-replica engine, run
                       control;
@@ -56,6 +58,14 @@ from repro.adversary import (
     available_adversaries,
     make_adversary,
 )
+from repro.backends import (
+    ComputeBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+    use_backend,
+)
 from repro.core import (
     Dynamics,
     HMajority,
@@ -83,6 +93,7 @@ from repro.engine import (
     run_until_consensus,
 )
 from repro.errors import (
+    BackendUnavailableError,
     ConfigurationError,
     ConsensusNotReached,
     GraphError,
@@ -107,9 +118,11 @@ __all__ = [
     "ApproximateMajority",
     "AsyncBatchPopulationEngine",
     "AsyncPopulationEngine",
+    "BackendUnavailableError",
     "BatchAgentEngine",
     "BatchPopulationEngine",
     "CompleteGraph",
+    "ComputeBackend",
     "ConfigurationError",
     "ConsensusNotReached",
     "Dynamics",
@@ -137,12 +150,17 @@ __all__ = [
     "Voter",
     "__version__",
     "available_adversaries",
+    "available_backends",
     "available_engines",
+    "default_backend",
+    "get_backend",
     "get_engine",
     "make_adversary",
     "make_dynamics",
+    "register_backend",
     "register_engine",
     "replicate",
     "run_sweep",
     "run_until_consensus",
+    "use_backend",
 ]

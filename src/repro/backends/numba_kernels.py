@@ -1,0 +1,282 @@
+"""JIT-compilable kernel sources for the ``numba`` backend.
+
+This module intentionally does **not** import :mod:`numba`.  It exposes
+:func:`build_kernels`, which takes the two decorators a JIT needs
+(``njit`` and ``prange``) and returns the compiled kernel set.  The
+``numba`` backend calls it with the real decorators; the test suite
+calls it with identity decorators and ``range`` to exercise the exact
+same loop bodies in pure Python against the NumPy reference — so the
+kernel *logic* stays verified even in environments where numba is not
+installed and the compiled path is skipped.
+
+RNG design
+----------
+NumPy ``Generator`` objects cannot cross into nopython code, so kernels
+that must draw inside the hot loop use a counter-style splitmix64 stream
+seeded from the caller's ``Generator`` (one 63-bit draw per kernel
+invocation).  Each row derives an independent stream from
+``seed + row * GAMMA``, which makes ``prange`` over rows deterministic
+for a given spec seed regardless of thread scheduling.  Bounded integer
+draws use rejection below the largest multiple of the bound, so they
+are *exactly* uniform — a label with zero population occupies a
+zero-width step of the integer CDF and can never be drawn, matching the
+NumPy paths' integer-exact sampling guarantee.
+
+Consequences for determinism: given the same spec seed, the numba and
+numpy backends consume different raw streams, so trajectories agree in
+distribution (KS-equivalence, verified in ``tests/test_backends.py``),
+not bitwise.  The two exceptions are ``sample_holders`` (the bounded
+draws come from the caller's ``Generator`` exactly as in the reference,
+so results are bitwise-identical) and ``batch_categorical`` (same
+single uniform per replica as the reference).
+
+Pure-Python callers note: NumPy emits ``RuntimeWarning`` on wrapping
+``uint64`` scalar arithmetic; wrap calls in
+``np.errstate(over="ignore")`` (the compiled path wraps natively and
+never warns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KERNEL_NAMES", "build_kernels"]
+
+#: The kernel names the numba backend advertises via ``accelerates``.
+KERNEL_NAMES = frozenset(
+    {
+        "majority_winners",
+        "hmajority_population_batch",
+        "csr_sample_gather",
+        "batch_categorical",
+        "sample_holders",
+    }
+)
+
+_U64_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX_A = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_B = np.uint64(0x94D049BB133111EB)
+#: Per-row stream separation constant (odd, full avalanche downstream).
+_ROW_GAMMA = np.uint64(0xBF58476D1CE4E5B9)
+
+
+def build_kernels(njit, prange):
+    """Build the kernel set with the given JIT decorators.
+
+    ``njit`` must be a decorator *factory* accepting keyword options
+    (``njit(parallel=True)``, ``njit(inline="always")``) — numba's
+    ``numba.njit`` qualifies, and so does an identity factory like
+    ``lambda **kw: (lambda fn: fn)`` for pure-Python testing.
+    ``prange`` is ``numba.prange`` or builtin ``range``.
+
+    Returns a dict mapping the names in :data:`KERNEL_NAMES` (plus the
+    private helpers, prefixed ``_``) to the decorated functions.
+    """
+
+    @njit(inline="always")
+    def _splitmix(state):
+        # splitmix64: one full-avalanche 64-bit output per call.
+        state = state + _SPLITMIX_GAMMA
+        z = state
+        z = (z ^ (z >> np.uint64(30))) * _MIX_A
+        z = (z ^ (z >> np.uint64(27))) * _MIX_B
+        return state, z ^ (z >> np.uint64(31))
+
+    @njit(inline="always")
+    def _bounded(state, bound):
+        # Exactly-uniform draw in [0, bound) via rejection below the
+        # largest representable multiple of ``bound``.
+        limit = (_U64_MAX // bound) * bound
+        while True:
+            state, z = _splitmix(state)
+            if z < limit:
+                return state, z % bound
+
+    @njit(inline="always")
+    def _row_state(seed, row):
+        return seed + np.uint64(row) * _ROW_GAMMA
+
+    @njit(inline="always")
+    def _cdf_find(cdf, draw):
+        # First index with cdf[idx] > draw  (== (cdf <= draw).sum()).
+        lo = 0
+        hi = cdf.shape[0]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] <= draw:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    @njit(parallel=True)
+    def majority_winners_kernel(samples, u, out):
+        # Per-row plurality with uniform tie-break among *positions*
+        # (equivalent to uniform among tied labels: tied labels occupy
+        # equal numbers of positions).  u holds one uniform per row,
+        # drawn by the caller from its Generator.  Counts live in local
+        # int64 scalars, so the int8-scratch overflow hazard of the
+        # NumPy reference cannot arise here at any h.
+        m, h = samples.shape
+        for i in prange(m):
+            best = 0
+            ties = 0
+            for a in range(h):
+                sa = samples[i, a]
+                c = 0
+                for b in range(h):
+                    if samples[i, b] == sa:
+                        c += 1
+                if c > best:
+                    best = c
+                    ties = 1
+                elif c == best:
+                    ties += 1
+            pick = int(u[i] * ties)
+            if pick >= ties:  # u == 1.0-ulp edge
+                pick = ties - 1
+            seen = 0
+            for a in range(h):
+                sa = samples[i, a]
+                c = 0
+                for b in range(h):
+                    if samples[i, b] == sa:
+                        c += 1
+                if c == best:
+                    if seen == pick:
+                        out[i] = sa
+                        break
+                    seen += 1
+
+    @njit(parallel=True)
+    def hmajority_population_kernel(counts, h, seed, out):
+        # Fused h-majority population round: for every replica row and
+        # every one of its ``n`` vertices, draw h i.i.d. opinions by
+        # integer inverse-CDF from the row's counts, tally them with
+        # streaming per-sample counts (at most h distinct labels), and
+        # bank the plurality winner (uniform tie-break) directly into
+        # the output histogram.  No (rows, n*h) sample matrix, no
+        # multinomial + permuted shuffle — the allocation-free
+        # replacement for the O(n·h²) reference pass.
+        rows, k = counts.shape
+        for r in prange(rows):
+            cdf = np.empty(k, np.int64)
+            total = np.int64(0)
+            for j in range(k):
+                total += counts[r, j]
+                cdf[j] = total
+            if total <= 0:
+                continue
+            n_u = np.uint64(total)
+            state = _row_state(seed, r)
+            labels = np.empty(h, np.int64)
+            occur = np.empty(h, np.int64)
+            for _v in range(total):
+                m = 0
+                for _t in range(h):
+                    state, draw = _bounded(state, n_u)
+                    lab = _cdf_find(cdf, np.int64(draw))
+                    found = False
+                    for q in range(m):
+                        if labels[q] == lab:
+                            occur[q] += 1
+                            found = True
+                            break
+                    if not found:
+                        labels[m] = lab
+                        occur[m] = 1
+                        m += 1
+                best = np.int64(0)
+                ties = np.uint64(0)
+                for q in range(m):
+                    if occur[q] > best:
+                        best = occur[q]
+                        ties = np.uint64(1)
+                    elif occur[q] == best:
+                        ties += np.uint64(1)
+                if ties == np.uint64(1):
+                    for q in range(m):
+                        if occur[q] == best:
+                            out[r, labels[q]] += 1
+                            break
+                else:
+                    state, pick = _bounded(state, ties)
+                    seen = np.uint64(0)
+                    for q in range(m):
+                        if occur[q] == best:
+                            if seen == pick:
+                                out[r, labels[q]] += 1
+                                break
+                            seen += np.uint64(1)
+
+    @njit(parallel=True)
+    def csr_sample_gather_kernel(indptr, indices, opinions, seed, out):
+        # Fused uniform-neighbour sample + opinion gather over a CSR
+        # adjacency: writes opinions[r, random neighbour of v] straight
+        # into out[j, r, v] without materialising the (s, rows, n)
+        # index tensor the reference path builds.
+        s = out.shape[0]
+        rows = out.shape[1]
+        n = out.shape[2]
+        for r in prange(rows):
+            state = _row_state(seed, r)
+            for v in range(n):
+                base = indptr[v]
+                deg = indptr[v + 1] - base
+                if deg <= 0:
+                    for j in range(s):
+                        out[j, r, v] = opinions[r, v]
+                    continue
+                deg_u = np.uint64(deg)
+                for j in range(s):
+                    state, off = _bounded(state, deg_u)
+                    out[j, r, v] = opinions[r, indices[base + np.int64(off)]]
+
+    @njit(parallel=True)
+    def batch_categorical_kernel(p, u, out):
+        # One categorical draw per row by inverse CDF, renormalising by
+        # the row total exactly like the reference (same single uniform
+        # per row, same first-index-with-cdf>threshold rule).
+        rows, k = p.shape
+        for r in prange(rows):
+            total = 0.0
+            for j in range(k):
+                total += p[r, j]
+            threshold = u[r] * total
+            acc = 0.0
+            choice = k - 1
+            for j in range(k):
+                acc += p[r, j]
+                if acc > threshold:
+                    choice = j
+                    break
+            out[r] = choice
+
+    @njit(parallel=True)
+    def sample_holders_kernel(counts, draws, out):
+        # Integer-exact inverse CDF over per-row counts.  ``draws``
+        # comes from the caller's Generator with per-row bounds, so the
+        # result is bitwise-identical to the NumPy reference.
+        rows, k = counts.shape
+        s = draws.shape[1]
+        for r in prange(rows):
+            cdf = np.empty(k, np.int64)
+            total = np.int64(0)
+            for j in range(k):
+                total += counts[r, j]
+                cdf[j] = total
+            for i in range(s):
+                out[r, i] = _cdf_find(cdf, draws[r, i])
+
+    return {
+        "_splitmix": _splitmix,
+        "_bounded": _bounded,
+        "_row_state": _row_state,
+        "_cdf_find": _cdf_find,
+        "majority_winners": majority_winners_kernel,
+        "hmajority_population_batch": hmajority_population_kernel,
+        "csr_sample_gather": csr_sample_gather_kernel,
+        "batch_categorical": batch_categorical_kernel,
+        "sample_holders": sample_holders_kernel,
+    }

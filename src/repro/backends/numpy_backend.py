@@ -1,0 +1,38 @@
+"""The always-available NumPy reference backend.
+
+This backend accelerates nothing *by design*: every hot-path dispatch
+point in :mod:`repro.core` and :mod:`repro.graphs` asks the active
+backend for a kernel and, on ``None``, runs the vectorised NumPy code
+that has been there since the batch-first refactor.  Keeping that code
+in place (instead of moving it behind the backend) means there is
+exactly one reference implementation, it is exercised by the entire
+existing test suite, and selecting ``backend="numpy"`` is a guaranteed
+no-op relative to the pre-backend behaviour.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend:
+    """Reference backend: pure NumPy, zero dependencies, always on."""
+
+    name = "numpy"
+    description = (
+        "vectorised NumPy reference paths (always available, default "
+        "fallback)"
+    )
+    #: No named kernels: the inline reference code *is* this backend.
+    accelerates: frozenset[str] = frozenset()
+
+    def is_available(self) -> bool:
+        return True
+
+    def kernel(self, name: str) -> Callable | None:
+        return None
+
+    def self_check(self) -> None:
+        return None

@@ -46,6 +46,12 @@ Subcommands
     List the registered dynamics specs.
 ``engines``
     List the registered simulation engines with their capabilities.
+``backends``
+    List the registered compute backends (availability, accelerated
+    kernels, the auto-detected default).  ``simulate``/``sweep``/
+    ``submit`` take ``--backend`` to pin one (sweeps accept several as
+    a comparison grid axis); the default is fail-closed auto-detection
+    overridable via the ``REPRO_BACKEND`` environment variable.
 ``serve --db PATH [--cache DIR] [--port P] [--fleet N] [...]``
     Run the simulation service: persistent SQLite job store, priority
     scheduler with per-client quotas, a worker fleet executing jobs
@@ -76,9 +82,20 @@ from repro.adversary import (
     near_consensus_threshold,
 )
 from repro.analysis.comparison import render_comparisons_markdown
+from repro.backends import (
+    AUTO_BACKEND,
+    available_backends,
+    backend_available,
+    default_backend,
+    get_backend,
+)
 from repro.core.registry import available_dynamics
 from repro.engine.registry import available_engines, get_engine
-from repro.errors import ConfigurationError, GraphError
+from repro.errors import (
+    BackendUnavailableError,
+    ConfigurationError,
+    GraphError,
+)
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.graphs import GRAPH_FAMILIES, make_graph
 from repro.simulation import INITIAL_FAMILIES
@@ -99,6 +116,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list experiments")
     sub.add_parser("dynamics", help="list registered dynamics")
     sub.add_parser("engines", help="list registered simulation engines")
+    sub.add_parser(
+        "backends",
+        help=(
+            "list registered compute backends, availability and the "
+            "auto-detected default"
+        ),
+    )
 
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
@@ -190,6 +214,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--seed", type=int, default=0)
     sim_parser.add_argument(
         "--max-rounds", type=int, default=1_000_000
+    )
+    sim_parser.add_argument(
+        "--backend",
+        default=AUTO_BACKEND,
+        choices=(AUTO_BACKEND, *available_backends()),
+        help=(
+            "compute backend for the hot-path kernels (default auto: "
+            "REPRO_BACKEND env var, else fail-closed auto-detection)"
+        ),
     )
 
     sweep_parser = sub.add_parser(
@@ -422,6 +455,17 @@ def _add_sweep_axes(parser: argparse.ArgumentParser) -> None:
             "chain, reported in synchronous-equivalent rounds"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        nargs="+",
+        default=None,
+        choices=(AUTO_BACKEND, *available_backends()),
+        help=(
+            "compute backend(s) for the hot-path kernels; several "
+            "values form a backend-comparison grid axis (points cache "
+            "under distinct keys per backend)"
+        ),
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -480,6 +524,29 @@ def main(argv: list[str] | None = None) -> int:
                 if flag
             )
             print(f"{name:12s} {info.description}  [{capabilities}]")
+        return 0
+    if args.command == "backends":
+        default = default_backend()
+        for name in available_backends():
+            backend = get_backend(name, require_available=False)
+            if backend_available(name):
+                status = "available"
+            else:
+                reason = getattr(backend, "unavailable_reason", "")
+                status = "unavailable"
+                if reason:
+                    status += f" ({reason})"
+            marker = "  [default]" if name == default.name else ""
+            kernels = ", ".join(sorted(backend.accelerates))
+            kernel_note = (
+                f"  kernels: {kernels}"
+                if kernels
+                else "  kernels: none (reference paths)"
+            )
+            print(
+                f"{name:12s} {status:12s} {backend.description}"
+                f"{kernel_note}{marker}"
+            )
         return 0
     if args.command == "run":
         started = time.perf_counter()
@@ -598,6 +665,7 @@ def _simulate(args) -> int:
         .replicas(args.replicas)
         .seed(args.seed)
         .max_rounds(args.max_rounds)
+        .backend(args.backend)
     )
     threshold = None
     if args.adversary is not None or args.adversary_budget is not None:
@@ -629,7 +697,7 @@ def _simulate(args) -> int:
         )
     try:
         spec = builder.build()
-    except ConfigurationError as exc:
+    except (BackendUnavailableError, ConfigurationError) as exc:
         print(f"error: {exc}")
         return 2
     started = time.perf_counter()
@@ -729,6 +797,23 @@ def _grid_from_args(args) -> tuple[dict, dict]:
         raise ConfigurationError(
             "--adversary-budget requires --adversary NAME"
         )
+    if args.backend:
+        # Validate eagerly so a submitted job never fails deep inside a
+        # worker: naming an uninstalled backend is a CLI error here.
+        for name in args.backend:
+            if name != AUTO_BACKEND and not backend_available(name):
+                raise BackendUnavailableError(
+                    name,
+                    getattr(
+                        get_backend(name, require_available=False),
+                        "unavailable_reason",
+                        "",
+                    ),
+                )
+        if len(args.backend) > 1:
+            grid["backend"] = args.backend
+        else:
+            fixed["backend"] = args.backend[0]
     return grid, fixed
 
 
@@ -750,10 +835,14 @@ def _sweep(args) -> int:
             workers=args.workers,
             measure=args.measure,
         )
-    except (ConfigurationError, GraphError) as exc:
+    except (
+        BackendUnavailableError,
+        ConfigurationError,
+        GraphError,
+    ) as exc:
         # GraphError surfaces from substrate construction inside the
-        # sweep (e.g. random-regular without --degree); both are user
-        # misconfiguration, not crashes.
+        # sweep (e.g. random-regular without --degree); all three are
+        # user misconfiguration / environment gaps, not crashes.
         print(f"error: {exc}")
         return 2
     wall = time.perf_counter() - started

@@ -16,6 +16,7 @@ from repro.core.base import (
     gather_neighbor_opinions_batch,
     iter_row_chunks,
     multinomial_counts,
+    sample_and_gather_neighbor_opinions_batch,
     sample_holders_batch,
     sample_opinions_from_counts,
     sample_opinions_from_counts_batch,
@@ -45,6 +46,7 @@ __all__ = [
     "iter_row_chunks",
     "make_dynamics",
     "multinomial_counts",
+    "sample_and_gather_neighbor_opinions_batch",
     "sample_holders_batch",
     "sample_opinions_from_counts",
     "sample_opinions_from_counts_batch",

@@ -27,6 +27,16 @@ three views of the same Markov chain:
 Subclasses additionally expose ``expected_alpha_next`` so that the theory
 module and tests can check the one-step mean formulas of Lemma 4.1 against
 Monte-Carlo estimates.
+
+Compute backends
+----------------
+The measured hot loops in this module (``batch_categorical``,
+``sample_holders_batch`` and the fused neighbour sample+gather helper)
+consult :func:`repro.backends.active_backend` for a named kernel before
+running their inline NumPy code.  The inline code *is* the ``numpy``
+backend — the reference implementation every accelerated kernel is
+tested against — so dispatch falls through to it whenever the active
+backend does not accelerate the kernel in question.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ import abc
 
 import numpy as np
 
+from repro.backends import active_backend
 from repro.state import validate_counts
 from repro.errors import StateError
 from repro.graphs.base import Graph
@@ -48,6 +59,7 @@ __all__ = [
     "gather_neighbor_opinions_batch",
     "iter_row_chunks",
     "multinomial_counts",
+    "sample_and_gather_neighbor_opinions_batch",
     "sample_holders_batch",
     "sample_opinions_from_counts",
     "sample_opinions_from_counts_batch",
@@ -243,8 +255,15 @@ def sample_holders_batch(
     updating vertex of an asynchronous tick) never land on a dead
     opinion — which matters, because decrementing a zero count would
     corrupt the configuration.
+
+    Accelerated by the active backend's ``sample_holders`` kernel when
+    one is registered (bitwise-identical: the bounded draws come from
+    the same ``Generator`` call either way).
     """
     counts = np.asarray(counts, dtype=np.int64)
+    kernel = active_backend().kernel("sample_holders")
+    if kernel is not None:
+        return kernel(counts, num_samples, rng)
     cdf = counts.cumsum(axis=1)
     u = rng.integers(
         0, cdf[:, -1:], size=(counts.shape[0], num_samples)
@@ -280,6 +299,11 @@ def batch_categorical(
             f"{totals[row]!r}, expected 1 (probability matrix shape "
             f"{p.shape}" + (f", dynamics {dynamics!r})" if dynamics else ")")
         )
+    kernel = active_backend().kernel("batch_categorical")
+    if kernel is not None:
+        # Same single uniform per row and the same inverse-CDF rule, so
+        # accelerated and reference draws coincide for a given state.
+        return kernel(p, rng)
     cdf = np.cumsum(p, axis=1)
     # rng.random() < 1 strictly, so u < cdf[:, -1] and the index stays
     # in range without clipping.
@@ -316,6 +340,42 @@ def gather_neighbor_opinions_batch(
     return np.take(
         opinions.reshape(-1), flat_index, out=out, mode="clip"
     )
+
+
+def sample_and_gather_neighbor_opinions_batch(
+    opinions: np.ndarray,
+    graph: Graph,
+    num_samples: int,
+    rng: np.random.Generator,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Sampled neighbours' opinions for every vertex of every replica.
+
+    The fused front half of every vectorised ``agent_step_batch``:
+    equivalent to ``graph.sample_neighbors_batch(rng, num_samples,
+    rows)`` followed by :func:`gather_neighbor_opinions_batch`, returning
+    the ``(num_samples, rows, n)`` opinion tensor directly.
+
+    When the active backend provides a ``csr_sample_gather`` kernel and
+    the graph exposes CSR kernel tables (see
+    :meth:`repro.graphs.base.AdjacencyGraph.csr_kernel_tables`), the
+    sample and the gather run as one compiled pass that never
+    materialises the ``(num_samples, rows, n)`` *index* tensor — the
+    measured agent-batch hot loop.  Otherwise it falls through to the
+    two-step reference path, so graphs without CSR tables (e.g. the
+    closed-form complete graph) and the ``numpy`` backend are
+    unaffected.  The accelerated path consumes a different raw RNG
+    stream, so it matches the reference in distribution, not bitwise.
+    """
+    opinions = np.ascontiguousarray(opinions)
+    kernel = active_backend().kernel("csr_sample_gather")
+    if kernel is not None:
+        tables = getattr(graph, "csr_kernel_tables", None)
+        if tables is not None:
+            indptr, indices = tables()
+            return kernel(indptr, indices, opinions, num_samples, rng, out)
+    ids = graph.sample_neighbors_batch(rng, num_samples, opinions.shape[0])
+    return gather_neighbor_opinions_batch(opinions, ids, out=out)
 
 
 class Dynamics(abc.ABC):

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import active_backend
 from repro.core.base import (
     Dynamics,
     iter_row_chunks,
@@ -52,10 +53,27 @@ def majority_winners(
     a jitter within 2^-22 of 1 rounds ``count + jitter`` up to the next
     integer, letting a minority position tie the true maximum — float64
     pushes that phantom-tie probability back to ~2^-52 per position.
+
+    When the active backend provides a ``majority_winners`` kernel the
+    whole pass runs compiled (streaming counts in wide scalars, same
+    uniform tie-break law, different raw RNG stream — distribution-
+    equal, not bitwise).
     """
     samples = np.asarray(samples)
     n, h = samples.shape
-    count_dtype = np.int8 if h <= np.iinfo(np.int8).max else np.int32
+    kernel = active_backend().kernel("majority_winners")
+    if kernel is not None:
+        return kernel(samples, rng)
+    # Dtype-widening guard: occurrence counts reach h, so int8 scratch
+    # is only safe while h fits int8.  At h > 127 the counts would wrap
+    # negative and argmax would silently crown a minority label, so the
+    # scratch MUST widen with h (regression-tested at h = 130).
+    if h <= np.iinfo(np.int8).max:
+        count_dtype: type = np.int8
+    elif h <= np.iinfo(np.int16).max:
+        count_dtype = np.int16
+    else:
+        count_dtype = np.int32
     occurrence = np.zeros((n, h), dtype=count_dtype)
     for a in range(h):
         for b in range(h):
@@ -139,6 +157,12 @@ class HMajority(Dynamics):
             # (never produced by the batch engine) take the row loop.
             return super().population_step_batch(counts, rng)
         n = int(totals[0])
+        kernel = active_backend().kernel("hmajority_population_batch")
+        if kernel is not None:
+            # Fused draw+count+histogram pass: the (rows, n*h) shared
+            # sample matrix is never materialised, so there is nothing
+            # to chunk and the element budget does not apply.
+            return kernel(counts, self.h, rng)
         new_counts = np.empty_like(counts)
         for start, stop in iter_row_chunks(
             num_rows, n * self.h, self.batch_element_budget

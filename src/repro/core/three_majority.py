@@ -29,9 +29,9 @@ from repro.core.base import (
     Dynamics,
     batch_categorical,
     batch_multinomial_counts,
-    gather_neighbor_opinions_batch,
     iter_row_chunks,
     multinomial_counts,
+    sample_and_gather_neighbor_opinions_batch,
     sample_holders_batch,
 )
 from repro.graphs.base import Graph
@@ -122,8 +122,9 @@ class ThreeMajority(Dynamics):
         for start, stop in iter_row_chunks(
             num_rows, 3 * n, self.batch_element_budget
         ):
-            ids = graph.sample_neighbors_batch(rng, 3, stop - start)
-            w = gather_neighbor_opinions_batch(opinions[start:stop], ids)
+            w = sample_and_gather_neighbor_opinions_batch(
+                opinions[start:stop], graph, 3, rng
+            )
             out[start:stop] = np.where(w[0] == w[1], w[0], w[2])
         return out
 

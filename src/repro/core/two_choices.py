@@ -35,9 +35,9 @@ import numpy as np
 from repro.core.base import (
     Dynamics,
     batch_multinomial_counts,
-    gather_neighbor_opinions_batch,
     iter_row_chunks,
     multinomial_counts,
+    sample_and_gather_neighbor_opinions_batch,
     sample_holders_batch,
 )
 from repro.graphs.base import Graph
@@ -189,8 +189,9 @@ class TwoChoices(Dynamics):
             num_rows, 2 * n, self.batch_element_budget
         ):
             block = opinions[start:stop]
-            ids = graph.sample_neighbors_batch(rng, 2, stop - start)
-            w = gather_neighbor_opinions_batch(block, ids)
+            w = sample_and_gather_neighbor_opinions_batch(
+                block, graph, 2, rng
+            )
             out[start:stop] = np.where(w[0] == w[1], w[0], block)
         return out
 

@@ -15,9 +15,9 @@ import numpy as np
 from repro.core.base import (
     Dynamics,
     batch_multinomial_counts,
-    gather_neighbor_opinions_batch,
     iter_row_chunks,
     multinomial_counts,
+    sample_and_gather_neighbor_opinions_batch,
     sample_holders_batch,
 )
 from repro.graphs.base import Graph
@@ -80,10 +80,11 @@ class Voter(Dynamics):
         for start, stop in iter_row_chunks(
             num_rows, n, self.batch_element_budget
         ):
-            ids = graph.sample_neighbors_batch(rng, 1, stop - start)
-            gather_neighbor_opinions_batch(
+            sample_and_gather_neighbor_opinions_batch(
                 opinions[start:stop],
-                ids,
+                graph,
+                1,
+                rng,
                 out=out[None, start:stop],
             )
         return out

@@ -51,6 +51,7 @@ from repro.adversary.base import (
     apply_count_delta,
     enforce_corruption_contract_batch,
 )
+from repro.backends import resolve_backend, use_backend
 from repro.core.base import Dynamics
 from repro.engine.registry import register_engine
 from repro.engine.runner import RunResult
@@ -132,6 +133,11 @@ class BatchAgentEngine:
         (the scratch ceiling that chunks replica rows inside
         ``agent_step_batch``); applied to an engine-local copy of the
         dynamics, like the population batch engine's knob.
+    backend:
+        Optional compute backend pinned for this engine's steps (name,
+        instance, or ``None``/``"auto"`` to inherit the ambient backend
+        — see :mod:`repro.backends`); a pure performance knob that
+        never changes the sampled law.
 
     Attributes
     ----------
@@ -153,7 +159,11 @@ class BatchAgentEngine:
         adversary: Adversary | None = None,
         target: Callable[[np.ndarray], bool] | None = None,
         element_budget: int | None = None,
+        backend: str | None = None,
     ) -> None:
+        self.backend = (
+            None if backend in (None, "auto") else resolve_backend(backend)
+        )
         if element_budget is not None:
             if element_budget < 1:
                 raise ConfigurationError(
@@ -299,9 +309,10 @@ class BatchAgentEngine:
             return self.opinions
         all_active = active.size == self.num_replicas
         view = self.opinions if all_active else self.opinions[active]
-        new_rows = self.dynamics.agent_step_batch(
-            view, self.graph, self.rng
-        )
+        with use_backend(self.backend):
+            new_rows = self.dynamics.agent_step_batch(
+                view, self.graph, self.rng
+            )
         if self.adversary is not None:
             self._apply_corruption(new_rows)
         if all_active:
@@ -434,6 +445,7 @@ def _run_spec(spec) -> list[RunResult]:
         seed=rng,
         adversary=spec.resolved_adversary(),
         target=spec.target,
+        backend=getattr(spec, "backend", None),
     )
     budget = spec.round_budget()
     results = engine.run_until_consensus(budget)

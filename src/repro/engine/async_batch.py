@@ -39,6 +39,7 @@ from repro.adversary.base import (
     Adversary,
     enforce_corruption_contract_batch,
 )
+from repro.backends import resolve_backend, use_backend
 from repro.core.base import Dynamics
 from repro.engine.batch import build_replica_matrix
 from repro.engine.registry import register_engine
@@ -74,6 +75,11 @@ class AsyncBatchPopulationEngine:
         corrupting every active row after each synchronous-equivalent
         round (every ``n`` ticks) via ``corrupt_batch``
         (contract-checked per row).
+    backend:
+        Optional compute backend pinned for this engine's ticks (name,
+        instance, or ``None``/``"auto"`` to inherit the ambient backend
+        — see :mod:`repro.backends`); a pure performance knob that
+        never changes the sampled law.
 
     Attributes
     ----------
@@ -95,7 +101,11 @@ class AsyncBatchPopulationEngine:
         num_replicas: int | None = None,
         seed: RandomState = None,
         adversary: Adversary | None = None,
+        backend: str | None = None,
     ) -> None:
+        self.backend = (
+            None if backend in (None, "auto") else resolve_backend(backend)
+        )
         self.dynamics = dynamics
         self.adversary = adversary
         self.counts = build_replica_matrix(counts, num_replicas)
@@ -125,9 +135,10 @@ class AsyncBatchPopulationEngine:
         active = ~self.frozen
         self.tick_index += 1
         if active.any():
-            new_rows = self.dynamics.async_population_step_batch(
-                self.counts[active], self.rng
-            )
+            with use_backend(self.backend):
+                new_rows = self.dynamics.async_population_step_batch(
+                    self.counts[active], self.rng
+                )
             if (
                 self.adversary is not None
                 and self.tick_index % self.num_vertices == 0
@@ -282,6 +293,7 @@ def _run_spec(spec) -> list[RunResult]:
         num_replicas=spec.replicas,
         seed=spec.seed,
         adversary=spec.resolved_adversary(),
+        backend=getattr(spec, "backend", None),
     )
     budget = spec.round_budget()
     results = engine.run_until_consensus(budget * spec.n)

@@ -47,6 +47,7 @@ from repro.adversary.base import (
     Adversary,
     enforce_corruption_contract_batch,
 )
+from repro.backends import resolve_backend, use_backend
 from repro.core.base import Dynamics
 from repro.engine.registry import register_engine
 from repro.engine.runner import RunResult
@@ -139,6 +140,11 @@ class BatchPopulationEngine:
         bites; it never changes the sampled chain.  Applied to a
         shallow copy of the dynamics (exposed as ``self.dynamics``), so
         the caller's instance keeps its own budget.
+    backend:
+        Optional compute backend pinned for this engine's steps (name,
+        instance, or ``None``/``"auto"`` to inherit the ambient backend
+        — see :mod:`repro.backends`).  Like ``element_budget``, a pure
+        performance knob: it never changes the sampled chain's law.
 
     Attributes
     ----------
@@ -163,7 +169,11 @@ class BatchPopulationEngine:
         adversary: Adversary | None = None,
         target: Callable[[np.ndarray], bool] | None = None,
         element_budget: int | None = None,
+        backend: str | None = None,
     ) -> None:
+        self.backend = (
+            None if backend in (None, "auto") else resolve_backend(backend)
+        )
         if element_budget is not None:
             if element_budget < 1:
                 raise ConfigurationError(
@@ -223,9 +233,10 @@ class BatchPopulationEngine:
         active = ~self.frozen
         self.round_index += 1
         if active.any():
-            new_rows = self.dynamics.population_step_batch(
-                self.counts[active], self.rng
-            )
+            with use_backend(self.backend):
+                new_rows = self.dynamics.population_step_batch(
+                    self.counts[active], self.rng
+                )
             if self.adversary is not None:
                 # The adversary gets its own copy so an in-place-
                 # mutating corrupt_batch cannot defeat the contract
@@ -342,6 +353,7 @@ def _run_spec(spec) -> list[RunResult]:
         seed=spec.seed,
         adversary=spec.resolved_adversary(),
         target=spec.target,
+        backend=getattr(spec, "backend", None),
     )
     budget = spec.round_budget()
     results = engine.run_until_consensus(budget)

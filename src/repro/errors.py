@@ -22,6 +22,28 @@ class ConfigurationError(ReproError, ValueError):
     """
 
 
+class BackendUnavailableError(ReproError, RuntimeError):
+    """A compute backend was requested but cannot run on this host.
+
+    Raised by :func:`repro.backends.get_backend` (and anything that
+    resolves a backend name, e.g. ``SimulationSpec(backend=...)``) when
+    the named backend is registered but its runtime dependency is
+    missing or broken — for example ``backend="numba"`` in an
+    environment without the ``numba`` package.  Auto-detection
+    (``backend="auto"``) never raises this: it fails closed and falls
+    back to the always-available ``numpy`` backend instead.
+    """
+
+    def __init__(self, backend: str, reason: str = "") -> None:
+        self.backend = backend
+        self.reason = reason
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"compute backend {backend!r} is not available on this host"
+            f"{detail}"
+        )
+
+
 class StateError(ReproError, ValueError):
     """An opinion configuration violates a structural invariant.
 

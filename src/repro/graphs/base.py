@@ -260,6 +260,20 @@ class AdjacencyGraph(Graph):
         """The graph's own ``(indptr, indices)`` arrays (no copy)."""
         return self.indptr, self.indices
 
+    def csr_kernel_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indptr, indices)`` in the layout compiled kernels expect.
+
+        The capability hook behind
+        :func:`repro.core.base.sample_and_gather_neighbor_opinions_batch`:
+        a graph that exposes this method opts its adjacency into the
+        fused backend ``csr_sample_gather`` kernel.  Both arrays are
+        C-contiguous int64 (``__init__`` coerces them), so every graph
+        shares one compiled kernel signature.  Graphs whose sampling is
+        closed-form rather than table-driven (the complete graph)
+        simply do not define it and keep their NumPy fast path.
+        """
+        return self.indptr, self.indices
+
     def _batch_sampling_tables(
         self,
     ) -> tuple[np.ndarray | None, int | None]:

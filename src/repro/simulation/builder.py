@@ -70,6 +70,7 @@ class Simulation:
             "target": spec.target,
             "observer_factory": spec.observer_factory,
             "on_budget": spec.on_budget,
+            "backend": spec.backend,
         }
         if spec.initial == "custom":
             # counts drive n/k; passing them too would be redundant.
@@ -205,6 +206,17 @@ class Simulation:
     def on_budget(self, policy: str) -> "Simulation":
         """``"return"`` (default) or ``"raise"`` on budget exhaustion."""
         self._settings["on_budget"] = policy
+        return self
+
+    def backend(self, name: str) -> "Simulation":
+        """Pick the compute backend for the hot-path kernels.
+
+        ``name`` is a registered backend (``"numpy"``, ``"numba"``) or
+        ``"auto"`` (the default: ``REPRO_BACKEND`` env var, else
+        fail-closed auto-detection).  Validated at :meth:`build`;
+        backends never change the sampled law, only how fast it runs.
+        """
+        self._settings["backend"] = name
         return self
 
     # ------------------------------------------------------------------

@@ -48,6 +48,7 @@ contract-checked); ``population``/``agent``/``batch`` accept a custom
 
 from __future__ import annotations
 
+from repro.backends import resolve_backend, use_backend
 from repro.engine.registry import get_engine
 from repro.errors import ConsensusNotReached
 from repro.simulation.results import ResultSet
@@ -57,8 +58,16 @@ __all__ = ["execute"]
 
 
 def execute(spec: SimulationSpec) -> ResultSet:
-    """Run every replica of ``spec`` and aggregate the results."""
-    results = list(get_engine(spec.engine).run(spec))
+    """Run every replica of ``spec`` and aggregate the results.
+
+    The spec's compute backend is resolved here and installed as the
+    ambient backend (:func:`repro.backends.use_backend`) around the
+    engine run — the single choke point through which every engine,
+    experiment driver and service job picks up the spec's ``backend``
+    without any per-engine wiring.
+    """
+    with use_backend(resolve_backend(spec.backend)):
+        results = list(get_engine(spec.engine).run(spec))
     if spec.on_budget == "raise":
         # All four built-in adapters raise from inside (so direct
         # get_engine(...).run(spec) callers see the same contract);

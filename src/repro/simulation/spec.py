@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.adversary import Adversary, make_adversary
+from repro.backends import AUTO_BACKEND, resolve_backend
 from repro.configs import (
     balanced,
     biased,
@@ -140,6 +141,16 @@ class SimulationSpec:
         so each replica needs its own.
     on_budget:
         ``"return"`` (censored runs flagged, default) or ``"raise"``.
+    backend:
+        Compute backend for the run's hot-path kernels: a name from
+        :func:`repro.backends.available_backends` (``"numpy"``,
+        ``"numba"``) or ``"auto"`` (default: the ``REPRO_BACKEND``
+        environment variable, else fail-closed auto-detection).
+        Validated eagerly — naming an unavailable backend raises
+        :class:`~repro.errors.BackendUnavailableError` at construction,
+        not mid-run.  Backends change which compiled kernels execute,
+        never the sampled law: results agree across backends in
+        distribution (KS-tested), not bitwise.
     """
 
     dynamics: str | Dynamics = "3-majority"
@@ -158,10 +169,21 @@ class SimulationSpec:
     target: Callable[[np.ndarray], bool] | None = None
     observer_factory: Callable[[], Sequence] | None = None
     on_budget: str = "return"
+    backend: str = AUTO_BACKEND
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__
         engine_info = get_engine(self.engine)
+        if self.backend is None:
+            set_(self, "backend", AUTO_BACKEND)
+        if not isinstance(self.backend, str):
+            raise ConfigurationError(
+                "spec backend must be a backend name or 'auto' (specs "
+                f"are declarative), got {type(self.backend).__name__}"
+            )
+        # Fail fast: unknown names raise ConfigurationError, known but
+        # uninstalled ones BackendUnavailableError ('auto' cannot fail).
+        resolve_backend(self.backend)
         if self.replicas < 1:
             raise ConfigurationError(
                 f"replicas must be at least 1, got {self.replicas}"
@@ -385,8 +407,13 @@ class SimulationSpec:
             adversarial = (
                 f", adversary={strategy}(F={self.adversary_budget})"
             )
+        backend = (
+            "" if self.backend == AUTO_BACKEND
+            else f", backend={self.backend}"
+        )
         return (
             f"{name} on n={self.n:,}, k={self.k} "
             f"({self.initial}{extras} start), engine={self.engine}, "
-            f"replicas={self.replicas}, seed={self.seed}{adversarial}"
+            f"replicas={self.replicas}, seed={self.seed}"
+            f"{backend}{adversarial}"
         )

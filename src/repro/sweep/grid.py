@@ -46,6 +46,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.adversary import near_consensus_target
+from repro.backends import AUTO_BACKEND, resolve_backend, use_backend
 from repro.engine import (
     AgentEngine,
     AsyncPopulationEngine,
@@ -129,7 +130,11 @@ def spec_from_params(
     (random-regular — the grid axis of "consensus time vs. degree"
     studies), ``edge_probability`` (Erdős–Rényi) and ``graph_seed``
     (edge-set seed, default 0, kept separate from the run seeds so
-    every replica of a point sees the *same* substrate).  All of them
+    every replica of a point sees the *same* substrate), and
+    ``backend`` (a compute backend name or ``"auto"``, default
+    ``"auto"`` — sweeping it benchmarks backends against each other;
+    since backends differ in realisation, not law, the key-bearing
+    params dict keeps backend points cached separately).  All of them
     are JSON-serialisable, so a point's spec is derivable from its
     cache entry and — crucially for the point cache — points with
     different substrates, chain families, strategies or budgets hash
@@ -224,6 +229,7 @@ def spec_from_params(
         target=target,
         adversary=params.get("adversary"),
         adversary_budget=budget,
+        backend=str(params.get("backend", AUTO_BACKEND)),
     )
     return spec
 
@@ -252,50 +258,55 @@ def consensus_time_point(
     """
     spec = spec_from_params(params)
     adversary = spec.resolved_adversary()
-    if spec.engine == "async":
-        # One-vertex-per-tick chain: the round budget buys n ticks per
-        # round and the measurement is reported in synchronous-
-        # equivalent rounds (ceil(ticks / n)), matching the async
-        # registry adapter.  The async engine has no custom-target
-        # support, so adversarial async points measure strict consensus
-        # (a stalling adversary surfaces as a censored NaN).
-        engine = AsyncPopulationEngine(
-            spec.resolved_dynamics(),
-            spec.initial_counts(),
-            seed=rng,
-            adversary=adversary,
+    # Sequential points drive engines directly (no execute() dispatch),
+    # so the spec's backend is installed here; the engines' hot-path
+    # kernels pick it up from the ambient context.
+    with use_backend(resolve_backend(spec.backend)):
+        if spec.engine == "async":
+            # One-vertex-per-tick chain: the round budget buys n ticks
+            # per round and the measurement is reported in synchronous-
+            # equivalent rounds (ceil(ticks / n)), matching the async
+            # registry adapter.  The async engine has no custom-target
+            # support, so adversarial async points measure strict
+            # consensus (a stalling adversary surfaces as a censored
+            # NaN).
+            engine = AsyncPopulationEngine(
+                spec.resolved_dynamics(),
+                spec.initial_counts(),
+                seed=rng,
+                adversary=adversary,
+            )
+            tick = engine.run_until_consensus(
+                max_ticks=spec.round_budget() * spec.n
+            )
+            if tick is None:
+                return float("nan")
+            return float(math.ceil(tick / spec.n))
+        target = None
+        if adversary is not None and adversary.budget > 0:
+            target = near_consensus_target(spec.n, adversary.budget)
+        if spec.graph is not None:
+            opinions = counts_to_agents(
+                spec.initial_counts(), rng=rng, shuffle=True
+            )
+            engine = AgentEngine(
+                spec.resolved_dynamics(),
+                spec.graph,
+                opinions,
+                num_opinions=spec.k,
+                seed=rng,
+                adversary=adversary,
+            )
+        else:
+            engine = PopulationEngine(
+                spec.resolved_dynamics(),
+                spec.initial_counts(),
+                seed=rng,
+                adversary=adversary,
+            )
+        result = run_until_consensus(
+            engine, max_rounds=spec.round_budget(), target=target
         )
-        tick = engine.run_until_consensus(
-            max_ticks=spec.round_budget() * spec.n
-        )
-        if tick is None:
-            return float("nan")
-        return float(math.ceil(tick / spec.n))
-    target = None
-    if adversary is not None and adversary.budget > 0:
-        target = near_consensus_target(spec.n, adversary.budget)
-    if spec.graph is not None:
-        opinions = counts_to_agents(
-            spec.initial_counts(), rng=rng, shuffle=True
-        )
-        engine = AgentEngine(
-            spec.resolved_dynamics(),
-            spec.graph,
-            opinions,
-            num_opinions=spec.k,
-            seed=rng,
-            adversary=adversary,
-        )
-    else:
-        engine = PopulationEngine(
-            spec.resolved_dynamics(),
-            spec.initial_counts(),
-            seed=rng,
-            adversary=adversary,
-        )
-    result = run_until_consensus(
-        engine, max_rounds=spec.round_budget(), target=target
-    )
     return float(result.rounds) if result.converged else float("nan")
 
 
