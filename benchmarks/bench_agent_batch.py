@@ -22,9 +22,10 @@ random-regular graph — for the three dynamics with vectorised
   batched pipeline — and a >=2.5x regression floor for the two
   multi-sample dynamics (all three measure ~4.5-7x on the reference
   box; the floors leave headroom for noisy CI hosts).
-* ``test_no_agent_row_loop_fallback`` — fails if a pull-based paper
-  dynamics loses its vectorised ``agent_step_batch`` override and
-  silently degrades to the per-row loop.
+The override-presence and no-row-loop guards that used to live here
+are now enforced statically by ``repro lint``'s **no-row-loop** rule
+(``src/repro/lint/rules/vectorization.py``), which checks every
+concrete dynamics at once instead of a hand-kept list.
 
 Run with:  pytest benchmarks/bench_agent_batch.py --benchmark-only
 """
@@ -38,7 +39,7 @@ import numpy as np
 from conftest import write_bench_json
 from repro.analysis.tables import format_table
 from repro.configs import balanced
-from repro.core import Dynamics, ThreeMajority, TwoChoices, Voter
+from repro.core import ThreeMajority, TwoChoices, Voter
 from repro.engine import (
     AgentEngine,
     BatchAgentEngine,
@@ -146,23 +147,3 @@ def test_agent_batch_speedup(benchmark):
         assert study["speedups"][label] >= floor, (
             f"{label}: {study['speedups'][label]:.1f}x < {floor}x"
         )
-
-
-def test_no_agent_row_loop_fallback(benchmark):
-    """The pull-based paper dynamics keep their vectorised overrides."""
-
-    def check() -> list[str]:
-        missing = []
-        for dynamics in (ThreeMajority(), TwoChoices(), Voter()):
-            if (
-                type(dynamics).agent_step_batch
-                is Dynamics.agent_step_batch
-            ):
-                missing.append(dynamics.name)
-        return missing
-
-    missing = benchmark.pedantic(check, rounds=1, iterations=1)
-    assert not missing, (
-        "these dynamics lost their vectorised agent_step_batch "
-        f"override: {missing}"
-    )

@@ -12,9 +12,9 @@ This benchmark guards the headline acceptance of that engine:
   run-to-consensus keep the sequential baseline affordable in CI while
   measuring the same per-tick hot path; the batch engine must win by
   at least 10x at R = 64.
-* ``test_no_async_row_loop_fallback`` — fails if any catalogued
-  dynamics loses its ``async_population_step_batch`` override and
-  silently degrades to the base-class row loop.
+The override-presence guard that used to live here is now enforced
+statically by ``repro lint``'s **no-row-loop** rule
+(``src/repro/lint/rules/vectorization.py``).
 
 Run with:  pytest benchmarks/bench_async_batch.py --benchmark-only
 """
@@ -28,13 +28,7 @@ import numpy as np
 from conftest import write_bench_json
 from repro.analysis.tables import format_table
 from repro.configs import balanced
-from repro.core import (
-    Dynamics,
-    ThreeMajority,
-    Voter,
-    available_dynamics,
-    make_dynamics,
-)
+from repro.core import ThreeMajority, Voter
 from repro.engine import AsyncBatchPopulationEngine, AsyncPopulationEngine
 from repro.engine.runner import RunResult, replicate
 
@@ -121,25 +115,4 @@ def test_async_batch_replication_speedup(benchmark):
     assert speedup >= SPEEDUP_FLOOR, (
         f"3-majority async batch speedup {speedup:.1f}x fell below "
         f"the {SPEEDUP_FLOOR:g}x floor at R={REPLICAS}"
-    )
-
-
-def test_no_async_row_loop_fallback(benchmark):
-    """Every catalogued dynamics must keep its vectorised override."""
-
-    def check() -> list[str]:
-        missing = []
-        for spec in list(available_dynamics()) + ["5-majority"]:
-            dynamics = make_dynamics(spec)
-            if (
-                type(dynamics).async_population_step_batch
-                is Dynamics.async_population_step_batch
-            ):
-                missing.append(spec)
-        return missing
-
-    missing = benchmark.pedantic(check, rounds=1, iterations=1)
-    assert not missing, (
-        "these catalogued dynamics lost their vectorised "
-        f"async_population_step_batch override: {missing}"
     )

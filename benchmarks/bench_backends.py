@@ -28,10 +28,10 @@ benchmark pins the layer's reason to exist:
   and then **skips** — never fails — so a missing optional dependency
   can't redden CI.
 
-* ``test_numba_backend_advertises_hot_kernels`` — always runs, no
-  numba needed: fails if the numba backend's capability flags drift
-  from the kernel catalogue (a silently dropped flag would disable a
-  kernel's dispatch with no other symptom than lost speed).
+The capability-flag drift guard that used to live here is now
+enforced statically by ``repro lint``'s **registry-completeness**
+rule, which cross-checks the kernel catalogue against the dispatch
+sites that request each kernel by name.
 
 Run with:  pytest benchmarks/bench_backends.py --benchmark-only
 """
@@ -46,8 +46,6 @@ import pytest
 from conftest import write_bench_json
 from repro.analysis.tables import format_table
 from repro.backends import backend_available, use_backend
-from repro.backends.numba_backend import NumbaBackend
-from repro.backends.numba_kernels import KERNEL_NAMES
 from repro.configs import balanced
 from repro.core import Dynamics, HMajority, ThreeMajority, Voter
 from repro.engine import BatchAgentEngine
@@ -256,14 +254,3 @@ def test_backend_kernel_speedups(benchmark):
             f"agent-batch {label} numba vs numpy: "
             f"{agent_speedups[label]:.1f}x < {floor}x"
         )
-
-
-def test_numba_backend_advertises_hot_kernels(benchmark):
-    """Capability flags must track the kernel catalogue exactly."""
-
-    def check():
-        return NumbaBackend.accelerates == KERNEL_NAMES and bool(
-            KERNEL_NAMES
-        )
-
-    assert benchmark.pedantic(check, rounds=1, iterations=1)

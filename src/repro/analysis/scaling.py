@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InternalError
 
 __all__ = [
     "PowerLawFit",
@@ -128,7 +128,11 @@ def fit_saturating_power_law(x, y) -> SaturatingFit:
                 crossover=crossover,
                 sse=sse,
             )
-    assert best is not None  # m >= 2 guarantees at least one candidate
+    if best is None:  # m >= 2 guarantees at least one candidate
+        raise InternalError(
+            "saturating fit produced no candidate split despite "
+            f"{m} points"
+        )
     return best
 
 

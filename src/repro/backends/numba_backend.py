@@ -23,6 +23,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.backends.numba_kernels import KERNEL_NAMES, build_kernels
+from repro.seeding import as_generator
 
 __all__ = ["NumbaBackend"]
 
@@ -81,7 +82,7 @@ class NumbaBackend:
         """
         fn = self._wrapper("majority_winners")
         samples = np.array([[1, 1, 2], [3, 2, 2], [5, 5, 5]], dtype=np.int64)
-        winners = fn(samples, np.random.default_rng(0))
+        winners = fn(samples, as_generator(0))
         if winners.tolist() != [1, 2, 5]:
             raise RuntimeError(
                 f"numba majority_winners self-check produced {winners!r}"

@@ -68,6 +68,13 @@ Subcommands
     One job's lifecycle state, progress and retry accounting.
 ``result --url URL JOB_ID [--wait]``
     Result table of a finished job (``--wait`` polls first).
+``lint [PATH ...] [--select RULE ...] [--list]``
+    Statically check the package source (default: the installed
+    ``repro`` package) against the codebase invariants — RNG seeding
+    discipline, vectorized batch contracts, registry completeness,
+    optimize-safe raises, spec threading, store transactions — and
+    exit non-zero on violations.  ``# repro: noqa[rule-name]``
+    suppresses a line; see README "Codebase invariants".
 """
 
 from __future__ import annotations
@@ -124,6 +131,35 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help=(
+            "statically check the package source against the codebase "
+            "invariants (AST rules; exits non-zero on violations)"
+        ),
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to check (default: the installed "
+            "repro package source)"
+        ),
+    )
+    lint_parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="RULE",
+        default=None,
+        help="run only the named rules (default: every registered rule)",
+    )
+    lint_parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_rules",
+        help="list the registered rules and exit",
+    )
+
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
     _add_common(run_parser)
@@ -150,10 +186,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--n", type=int, required=True)
     sim_parser.add_argument("--k", type=int, required=True)
     sim_parser.add_argument(
+        "--initial",
         "--config",
+        dest="initial",
         default="balanced",
         choices=sorted(INITIAL_FAMILIES),
-        help="initial configuration family",
+        help="initial configuration family (--config is an alias)",
     )
     sim_parser.add_argument(
         "--engine",
@@ -586,7 +624,41 @@ def main(argv: list[str] | None = None) -> int:
         return _status(args)
     if args.command == "result":
         return _result(args)
+    if args.command == "lint":
+        return _lint(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _lint(args) -> int:
+    from pathlib import Path
+
+    from repro.lint import available_rules, get_rule, run_lint
+
+    if args.list_rules:
+        for name in available_rules():
+            rule = get_rule(name)
+            print(f"{name:28s} [{rule.severity}] {rule.description}")
+        return 0
+    paths = [Path(p) for p in args.paths] or None
+    try:
+        diagnostics = run_lint(paths, select=args.select)
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 2
+    for diagnostic in diagnostics:
+        print(diagnostic.render())
+    errors = sum(
+        1
+        for d in diagnostics
+        if d.rule == "syntax-error"
+        or get_rule(d.rule).severity == "error"
+    )
+    if diagnostics:
+        print(
+            f"{len(diagnostics)} diagnostic(s), {errors} error(s); "
+            "suppress a line with '# repro: noqa[rule-name]'"
+        )
+    return 1 if errors else 0
 
 
 def _report(args) -> int:
@@ -659,7 +731,7 @@ def _simulate(args) -> int:
         Simulation.of(args.dynamics)
         .n(args.n)
         .k(args.k)
-        .initial(args.config)
+        .initial(args.initial)
         .on_graph(graph)
         .engine(engine)
         .replicas(args.replicas)

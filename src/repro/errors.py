@@ -52,6 +52,16 @@ class StateError(ReproError, ValueError):
     """
 
 
+class InternalError(ReproError, RuntimeError):
+    """An internal invariant the library believed unbreakable was broken.
+
+    The optimize-safe replacement for a bare ``assert`` in enforcement
+    paths (``repro lint``'s *optimize-safe-contracts* rule): unlike
+    ``assert``, it still fires under ``python -O``.  Reaching one of
+    these is a bug in :mod:`repro`, not a user error.
+    """
+
+
 class ConsensusNotReached(ReproError, RuntimeError):
     """A run exhausted its round budget before reaching consensus.
 

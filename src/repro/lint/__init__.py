@@ -1,0 +1,38 @@
+"""Static contract checker for the repro codebase (``repro lint``).
+
+An AST-based analysis pass over the package's own source, enforcing
+the cross-cutting invariants the registries and conventions rely on:
+RNG seeding discipline, vectorized batch contracts, registry
+completeness, optimize-safe error raising, spec threading, and store
+transaction discipline.  Structured exactly like the engine/backend
+layers: rules are registered objects (:func:`register_rule` /
+:func:`available_rules`), the runner (:func:`run_lint`) drives them
+over a parsed :class:`LintContext`, and per-line suppressions use
+``# repro: noqa[rule-name]`` comments.
+"""
+
+from repro.lint.context import LintContext, SourceFile, parse_source_file
+from repro.lint.model import (
+    Diagnostic,
+    LintRule,
+    available_rules,
+    get_rule,
+    register_rule,
+    unregister_rule,
+)
+from repro.lint.runner import collect_context, default_lint_root, run_lint
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "LintRule",
+    "SourceFile",
+    "available_rules",
+    "collect_context",
+    "default_lint_root",
+    "get_rule",
+    "parse_source_file",
+    "register_rule",
+    "run_lint",
+    "unregister_rule",
+]

@@ -1,0 +1,118 @@
+"""Parsed-source context handed to every lint rule.
+
+One :class:`LintContext` holds every file of a lint run, parsed once
+(`ast` tree + raw lines), plus the suppression table extracted from
+``# repro: noqa`` comments.  Rules address files *structurally* — by
+basename, by containing directory, by relative-path suffix — so the
+same rule set runs unchanged over the real package tree and over the
+miniature fixture trees the test suite builds in a temp directory.
+
+Suppression syntax (checked on the diagnostic's anchor line):
+
+``# repro: noqa``
+    Suppress every rule on this line.
+``# repro: noqa[rule-a, rule-b]``
+    Suppress only the named rules on this line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+__all__ = ["LintContext", "SourceFile", "parse_source_file"]
+
+#: Matches a suppression comment anywhere in a source line.
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[^\]]*)\])?", re.IGNORECASE
+)
+
+#: Sentinel in the suppression table: "every rule" (bare ``noqa``).
+SUPPRESS_ALL = "*"
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed source file of a lint run."""
+
+    path: Path
+    relative: str  # posix-style, relative to the lint root
+    source: str
+    tree: ast.Module
+    #: line number -> set of suppressed rule names (or ``{"*"}``).
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return PurePosixPath(self.relative).name
+
+    @property
+    def directory_parts(self) -> tuple[str, ...]:
+        """Directories on the relative path (no filename)."""
+        return PurePosixPath(self.relative).parts[:-1]
+
+    def in_directory(self, directory: str) -> bool:
+        """Whether any relative-path directory equals ``directory``."""
+        return directory in self.directory_parts
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return SUPPRESS_ALL in rules or rule in rules
+
+
+def _extract_suppressions(source: str) -> dict[int, set[str]]:
+    table: dict[int, set[str]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(line)
+        if match is None:
+            continue
+        names = match.group("rules")
+        if names is None:
+            table[number] = {SUPPRESS_ALL}
+        else:
+            table[number] = {
+                part.strip() for part in names.split(",") if part.strip()
+            }
+    return table
+
+
+def parse_source_file(path: Path, relative: str) -> SourceFile:
+    """Read and parse one file (raises ``SyntaxError`` on bad source)."""
+    source = path.read_text()
+    return SourceFile(
+        path=path,
+        relative=relative,
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+        suppressions=_extract_suppressions(source),
+    )
+
+
+class LintContext:
+    """Every parsed file of one lint run, with structural lookups."""
+
+    def __init__(self, root: Path, files: list[SourceFile]) -> None:
+        self.root = Path(root)
+        self.files = list(files)
+
+    def find(self, suffix: str) -> SourceFile | None:
+        """The unique file whose relative path ends with ``suffix``.
+
+        ``suffix`` is matched on posix path boundaries (``"spec.py"``
+        matches ``simulation/spec.py`` but never ``otherspec.py``), so
+        rules can anchor on layout without hard-coding the lint root.
+        """
+        suffix_parts = PurePosixPath(suffix).parts
+        for file in self.files:
+            parts = PurePosixPath(file.relative).parts
+            if parts[-len(suffix_parts):] == suffix_parts:
+                return file
+        return None
+
+    def in_directory(self, directory: str) -> list[SourceFile]:
+        """Every file with ``directory`` on its relative path."""
+        return [f for f in self.files if f.in_directory(directory)]

@@ -1,0 +1,120 @@
+"""Lint-rule model: diagnostics, the rule protocol and the registry.
+
+Mirrors the engine and backend registries
+(:mod:`repro.engine.registry`, :mod:`repro.backends.registry`): rules
+are registered under a short kebab-case name, looked up by name and
+enumerated for the CLI.  A rule is any object satisfying
+:class:`LintRule` —
+
+``name`` / ``description`` / ``severity``
+    Identity, a one-line human summary (shown by ``repro lint --list``)
+    and ``"error"`` or ``"warning"``.  Only ``error`` diagnostics make
+    ``repro lint`` exit non-zero.
+``check(context)``
+    Yield :class:`Diagnostic` objects over a parsed
+    :class:`~repro.lint.context.LintContext`.  Rules see the *whole*
+    file set at once, so cross-cutting contracts (registry
+    completeness, spec threading) are as easy to express as per-file
+    ones.
+
+Registering a rule is the only step needed to expose it: the runner
+executes every registered rule, ``repro lint --select`` filters by
+name, and suppression comments (``# repro: noqa[rule-name]``) key off
+the registered name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Diagnostic",
+    "LintRule",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+    "unregister_rule",
+]
+
+#: The severities a rule may declare.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One reported violation, renderable as ``file:line: RULE-ID msg``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@runtime_checkable
+class LintRule(Protocol):
+    """Structural interface every lint rule must satisfy."""
+
+    name: str
+    description: str
+    severity: str
+
+    def check(
+        self, context
+    ) -> Iterable[Diagnostic]:  # pragma: no cover - protocol
+        ...
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def register_rule(rule: LintRule, *, replace: bool = False) -> LintRule:
+    """Register ``rule`` under ``rule.name``; returns the rule.
+
+    Duplicate names raise :class:`ConfigurationError` unless
+    ``replace=True``, matching the engine and backend registries.
+    """
+    name = getattr(rule, "name", None)
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"lint rule name must be a non-empty string, got {name!r}"
+        )
+    if getattr(rule, "severity", None) not in SEVERITIES:
+        raise ConfigurationError(
+            f"lint rule {name!r} severity must be one of {SEVERITIES}, "
+            f"got {getattr(rule, 'severity', None)!r}"
+        )
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"lint rule {name!r} is already registered; pass "
+            "replace=True to override it"
+        )
+    _REGISTRY[name] = rule
+    return rule
+
+
+def unregister_rule(name: str) -> None:
+    """Remove a registry entry (no-op when absent); for tests/plugins."""
+    _REGISTRY.pop(name, None)
+
+
+def get_rule(name: str) -> LintRule:
+    """Look up a registered rule by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown lint rule {name!r}; known rules: "
+            f"{available_rules()}"
+        ) from None
+
+
+def available_rules() -> list[str]:
+    """Sorted names of every registered rule."""
+    return sorted(_REGISTRY)

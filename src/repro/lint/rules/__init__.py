@@ -1,0 +1,25 @@
+"""Built-in lint rules.
+
+Importing this package registers every built-in rule with the
+registry in :mod:`repro.lint.model` — the same import-for-side-effect
+idiom the engine and backend packages use.  Third-party or test rules
+register through :func:`repro.lint.register_rule` directly.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.contracts import OptimizeSafeContractsRule
+from repro.lint.rules.registries import RegistryCompletenessRule
+from repro.lint.rules.rng import RngDisciplineRule
+from repro.lint.rules.spec_threading import SpecThreadingRule
+from repro.lint.rules.store import StoreTransactionRule
+from repro.lint.rules.vectorization import NoRowLoopRule
+
+__all__ = [
+    "NoRowLoopRule",
+    "OptimizeSafeContractsRule",
+    "RegistryCompletenessRule",
+    "RngDisciplineRule",
+    "SpecThreadingRule",
+    "StoreTransactionRule",
+]

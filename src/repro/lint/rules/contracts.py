@@ -1,0 +1,47 @@
+"""optimize-safe-contracts: no bare ``assert`` in library code.
+
+``assert`` statements are compiled away under ``python -O``, so a
+contract expressed as one silently stops being checked exactly when a
+deployment flips optimization on.  Library enforcement paths must
+raise typed :mod:`repro.errors` exceptions (``ConfigurationError``,
+``StateError``, ``InternalError``, ...) instead — those survive any
+interpreter mode and give callers something to catch.  Test files are
+outside this rule's input set (``repro lint`` walks the package
+source), where ``assert`` is pytest's native idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import LintContext
+from repro.lint.model import Diagnostic, register_rule
+
+__all__ = ["OptimizeSafeContractsRule"]
+
+
+class OptimizeSafeContractsRule:
+    name = "optimize-safe-contracts"
+    description = (
+        "library code must not use bare assert (stripped under "
+        "python -O); raise a typed repro.errors exception instead"
+    )
+    severity = "error"
+
+    def check(self, context: LintContext) -> Iterator[Diagnostic]:
+        for file in context.files:
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.Assert):
+                    yield Diagnostic(
+                        path=file.relative,
+                        line=node.lineno,
+                        rule=self.name,
+                        message=(
+                            "bare assert is stripped under python -O; "
+                            "raise a typed repro.errors exception instead"
+                        ),
+                    )
+
+
+RULE = register_rule(OptimizeSafeContractsRule())

@@ -1,0 +1,111 @@
+"""rng-discipline: randomness construction is ``seeding.py``'s job.
+
+Every simulation path takes a ``numpy.random.Generator`` built by
+:mod:`repro.seeding` (``as_generator`` / ``spawn_generators``) so that
+replica streams are reproducible and independently spawnable.  A stray
+``np.random.default_rng(...)``, a legacy global-state call
+(``np.random.seed`` / ``np.random.randint`` / ...), or a
+``from numpy.random import default_rng`` anywhere else silently forks
+the seeding discipline.  Declarative entropy objects
+(``SeedSequence`` and friends) stay allowed everywhere — they carry
+seeds, they don't sample.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.context import LintContext, SourceFile
+from repro.lint.model import Diagnostic, register_rule
+
+__all__ = ["RngDisciplineRule"]
+
+#: The one module allowed to construct generators.
+_FACTORY_MODULE = "seeding.py"
+
+#: ``np.random.<attr>`` uses that stay legal everywhere: declarative
+#: entropy/bit-generator objects, never sampling or global state.
+_DECLARATIVE = frozenset(
+    {
+        "SeedSequence",
+        "Generator",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+_NP_RANDOM_CALL = re.compile(r"^(?:np|numpy)\.random\.(?P<attr>\w+)$")
+
+
+class RngDisciplineRule:
+    name = "rng-discipline"
+    description = (
+        "np.random generator construction and legacy global-state calls "
+        "are allowed only in seeding.py; everywhere else randomness must "
+        "flow through a passed-in Generator"
+    )
+    severity = "error"
+
+    def check(self, context: LintContext) -> Iterator[Diagnostic]:
+        for file in context.files:
+            if file.name == _FACTORY_MODULE:
+                continue
+            yield from self._check_file(file)
+
+    def _check_file(self, file: SourceFile) -> Iterator[Diagnostic]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(file, node)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import(file, node)
+
+    def _check_call(
+        self, file: SourceFile, node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        try:
+            target = ast.unparse(node.func)
+        except Exception:  # pragma: no cover - defensive
+            return
+        match = _NP_RANDOM_CALL.match(target)
+        if match is None or match.group("attr") in _DECLARATIVE:
+            return
+        yield Diagnostic(
+            path=file.relative,
+            line=node.lineno,
+            rule=self.name,
+            message=(
+                f"call to {target} outside seeding.py; take a "
+                "numpy.random.Generator parameter (repro.seeding."
+                "as_generator / spawn_generators) instead"
+            ),
+        )
+
+    def _check_import(
+        self, file: SourceFile, node: ast.ImportFrom
+    ) -> Iterator[Diagnostic]:
+        if node.module != "numpy.random":
+            return
+        for alias in node.names:
+            if alias.name in _DECLARATIVE or alias.name == "*":
+                continue
+            yield Diagnostic(
+                path=file.relative,
+                line=node.lineno,
+                rule=self.name,
+                message=(
+                    f"import of numpy.random.{alias.name} outside "
+                    "seeding.py; take a numpy.random.Generator parameter "
+                    "instead"
+                ),
+            )
+
+
+RULE = register_rule(RngDisciplineRule())

@@ -1,0 +1,145 @@
+"""store-transaction-discipline: DML goes through ``BEGIN IMMEDIATE``.
+
+The service job store (``service/store.py``) serialises writers with
+an explicit ``BEGIN IMMEDIATE`` transaction helper so concurrent
+workers never interleave half-applied state transitions.  A mutating
+statement executed outside ``with self._transaction():`` runs in
+sqlite3's autocommit limbo: it takes locks late, can deadlock with
+``BEGIN IMMEDIATE`` writers, and commits independently of the state
+machine around it.
+
+The rule applies to any class that defines a ``_transaction`` helper
+(so fixture stores and future stores are covered, not just
+``JobStore``): every ``INSERT``/``UPDATE``/``DELETE``/``REPLACE``
+executed by a method of such a class must be lexically inside a
+``with ...._transaction():`` block.  Reads (``SELECT``/``PRAGMA``) and
+schema DDL (``CREATE``) stay free — they don't mutate rows.  Static
+SQL is resolved from string constants and the constant prefix of
+f-strings; dynamically assembled SQL is invisible to this rule, which
+is another reason to keep statements literal.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.context import LintContext, SourceFile
+from repro.lint.model import Diagnostic, register_rule
+
+__all__ = ["StoreTransactionRule"]
+
+_EXECUTE_METHODS = frozenset({"execute", "executemany", "executescript"})
+_DML_VERBS = frozenset({"insert", "update", "delete", "replace"})
+_HELPER = "_transaction"
+
+
+def _static_sql_prefix(node: ast.expr) -> str | None:
+    """The leading literal text of a SQL argument, if any."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
+
+
+def _dml_verb(call: ast.Call) -> str | None:
+    """The mutating SQL verb this call executes, if it is one."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _EXECUTE_METHODS:
+        return None
+    if not call.args:
+        return None
+    sql = _static_sql_prefix(call.args[0])
+    if sql is None:
+        return None
+    words = sql.lstrip().split(None, 1)
+    if not words:
+        return None
+    verb = words[0].lower()
+    return verb if verb in _DML_VERBS else None
+
+
+def _enters_transaction(item: ast.withitem) -> bool:
+    expr = item.context_expr
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == _HELPER
+    if isinstance(func, ast.Name):
+        return func.id == _HELPER
+    return False
+
+
+class StoreTransactionRule:
+    name = "store-transaction-discipline"
+    description = (
+        "mutating SQL in classes with a _transaction helper must run "
+        "inside 'with self._transaction():' (BEGIN IMMEDIATE)"
+    )
+    severity = "error"
+
+    def check(self, context: LintContext) -> Iterator[Diagnostic]:
+        for file in context.files:
+            for node in file.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(file, node)
+
+    def _check_class(
+        self, file: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Diagnostic]:
+        methods = [
+            item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        if not any(m.name == _HELPER for m in methods):
+            return
+        for method in methods:
+            if method.name == _HELPER:
+                continue
+            yield from self._visit(file, cls, method, method, in_txn=False)
+
+    def _visit(
+        self,
+        file: SourceFile,
+        cls: ast.ClassDef,
+        method: ast.AST,
+        node: ast.AST,
+        *,
+        in_txn: bool,
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            entered = in_txn or any(
+                _enters_transaction(item) for item in node.items
+            )
+            for item in node.items:
+                yield from self._visit(
+                    file, cls, method, item, in_txn=in_txn
+                )
+            for child in node.body:
+                yield from self._visit(
+                    file, cls, method, child, in_txn=entered
+                )
+            return
+        if isinstance(node, ast.Call):
+            verb = _dml_verb(node)
+            if verb is not None and not in_txn:
+                yield Diagnostic(
+                    path=file.relative,
+                    line=node.lineno,
+                    rule=self.name,
+                    message=(
+                        f"{cls.name}.{method.name} executes {verb.upper()} "
+                        "outside the BEGIN IMMEDIATE helper; wrap it in "
+                        "'with self._transaction():'"
+                    ),
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(file, cls, method, child, in_txn=in_txn)
+
+
+RULE = register_rule(StoreTransactionRule())

@@ -1,0 +1,116 @@
+"""Drive the registered lint rules over a source tree.
+
+:func:`run_lint` is the programmatic entry point (the ``repro lint``
+CLI subcommand is a thin wrapper): collect ``*.py`` files, parse each
+once, run every registered rule over the shared
+:class:`~repro.lint.context.LintContext`, apply suppression comments
+and return the surviving diagnostics sorted by location.
+
+A file that fails to parse yields a single ``syntax-error`` diagnostic
+instead of aborting the run — a broken file must fail the lint gate,
+not crash it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.lint import rules as _rules  # noqa: F401  (registers rules)
+from repro.lint.context import LintContext, SourceFile, parse_source_file
+from repro.lint.model import Diagnostic, available_rules, get_rule
+
+__all__ = ["collect_context", "default_lint_root", "run_lint"]
+
+_SKIP_DIRECTORIES = {"__pycache__", ".git", ".venv"}
+
+
+def default_lint_root() -> Path:
+    """The installed :mod:`repro` package source — what ``repro lint``
+    checks when invoked without paths, independent of the cwd."""
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def _iter_python_files(root: Path):
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if any(part in _SKIP_DIRECTORIES for part in path.parts):
+            continue
+        yield path
+
+
+def collect_context(
+    paths: list[Path],
+) -> tuple[LintContext, list[Diagnostic]]:
+    """Parse every Python file under ``paths`` into one context.
+
+    Relative names are computed against each argument (for a directory
+    argument, against the directory itself), so linting ``src/repro``
+    yields relatives like ``core/base.py`` — the layout the structural
+    rules anchor on.  Returns the context plus ``syntax-error``
+    diagnostics for unparseable files.
+    """
+    files: list[SourceFile] = []
+    broken: list[Diagnostic] = []
+    roots = [Path(path) for path in paths]
+    for root in roots:
+        if not root.exists():
+            raise ConfigurationError(f"lint path {str(root)!r} does not exist")
+        base = root if root.is_dir() else root.parent
+        for path in _iter_python_files(root):
+            relative = path.relative_to(base).as_posix()
+            try:
+                files.append(parse_source_file(path, relative))
+            except SyntaxError as exc:
+                broken.append(
+                    Diagnostic(
+                        path=relative,
+                        line=int(exc.lineno or 1),
+                        rule="syntax-error",
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+    context_root = roots[0] if len(roots) == 1 else Path(".")
+    return LintContext(context_root, files), broken
+
+
+def run_lint(
+    paths: list[Path] | None = None,
+    *,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> list[Diagnostic]:
+    """Run the registered rules and return surviving diagnostics.
+
+    ``select`` restricts the run to the named rules; ``ignore`` drops
+    rules from it.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError` (a typo in a CI config
+    must not silently lint nothing).  Suppression comments on a
+    diagnostic's anchor line remove it here, so every caller — CLI,
+    tests, pre-commit hooks — sees identical results.
+    """
+    if paths is None:
+        paths = [default_lint_root()]
+    names = list(select) if select else available_rules()
+    for name in list(names) + list(ignore or []):
+        get_rule(name)  # raises on unknown names
+    if ignore:
+        names = [name for name in names if name not in set(ignore)]
+
+    context, diagnostics = collect_context(paths)
+    by_relative = {file.relative: file for file in context.files}
+    for name in names:
+        rule = get_rule(name)
+        for diagnostic in rule.check(context):
+            file = by_relative.get(diagnostic.path)
+            if file is not None and file.suppressed(
+                diagnostic.line, diagnostic.rule
+            ):
+                continue
+            diagnostics.append(diagnostic)
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.rule, d.message))
+    return diagnostics

@@ -411,9 +411,19 @@ class SimulationSpec:
             "" if self.backend == AUTO_BACKEND
             else f", backend={self.backend}"
         )
+        substrate = (
+            ""
+            if self.graph is None
+            else f", graph={type(self.graph).__name__}"
+        )
+        budget = (
+            ""
+            if self.max_rounds is None
+            else f", max_rounds={self.max_rounds}"
+        )
         return (
             f"{name} on n={self.n:,}, k={self.k} "
             f"({self.initial}{extras} start), engine={self.engine}, "
             f"replicas={self.replicas}, seed={self.seed}"
-            f"{backend}{adversarial}"
+            f"{backend}{substrate}{budget}{adversarial}"
         )
