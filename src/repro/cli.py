@@ -160,6 +160,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list the registered rules and exit",
     )
 
+    verify_parser = sub.add_parser(
+        "verify",
+        help=(
+            "replay-verify the provenance chains of sweep caches / "
+            "benchmark output directories (exits non-zero on any "
+            "broken link, tampered payload or orphaned manifest)"
+        ),
+    )
+    verify_parser.add_argument(
+        "paths",
+        nargs="+",
+        help=(
+            "directories whose manifest chains to verify (a file path "
+            "verifies the directory containing it)"
+        ),
+    )
+
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
     _add_common(run_parser)
@@ -626,7 +643,27 @@ def main(argv: list[str] | None = None) -> int:
         return _result(args)
     if args.command == "lint":
         return _lint(args)
+    if args.command == "verify":
+        return _verify(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _verify(args) -> int:
+    from pathlib import Path
+
+    from repro.provenance import verify_chain
+
+    exit_code = 0
+    for raw in args.paths:
+        path = Path(raw)
+        # Verifying a single payload file means verifying the chain of
+        # the directory that attests it.
+        directory = path.parent if path.is_file() else path
+        report = verify_chain(directory)
+        print(report.render())
+        if not report.ok:
+            exit_code = 1
+    return exit_code
 
 
 def _lint(args) -> int:

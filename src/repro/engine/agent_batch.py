@@ -138,6 +138,13 @@ class BatchAgentEngine:
         instance, or ``None``/``"auto"`` to inherit the ambient backend
         — see :mod:`repro.backends`); a pure performance knob that
         never changes the sampled law.
+    record_hook:
+        Optional observation callback ``hook(round_index, counts,
+        frozen)`` invoked after every :meth:`step` with the engine's
+        per-replica *count* view (derived from the opinion matrix —
+        the population-level contract all recorders share) and frozen
+        mask.  Costs nothing when ``None``; used by
+        :mod:`repro.invariants` to record traces.
 
     Attributes
     ----------
@@ -160,10 +167,13 @@ class BatchAgentEngine:
         target: Callable[[np.ndarray], bool] | None = None,
         element_budget: int | None = None,
         backend: str | None = None,
+        record_hook: Callable[[int, np.ndarray, np.ndarray], None]
+        | None = None,
     ) -> None:
         self.backend = (
             None if backend in (None, "auto") else resolve_backend(backend)
         )
+        self.record_hook = record_hook
         if element_budget is not None:
             if element_budget < 1:
                 raise ConfigurationError(
@@ -306,6 +316,10 @@ class BatchAgentEngine:
         active = np.flatnonzero(~self.frozen)
         self.round_index += 1
         if active.size == 0:
+            if self.record_hook is not None:
+                self.record_hook(
+                    self.round_index, self.counts, self.frozen
+                )
             return self.opinions
         all_active = active.size == self.num_replicas
         view = self.opinions if all_active else self.opinions[active]
@@ -326,6 +340,8 @@ class BatchAgentEngine:
         done = active[self._stopped(new_rows)]
         self.consensus_rounds[done] = self.round_index
         self.frozen[done] = True
+        if self.record_hook is not None:
+            self.record_hook(self.round_index, self.counts, self.frozen)
         return self.opinions
 
     def _apply_corruption(self, new_rows: np.ndarray) -> None:

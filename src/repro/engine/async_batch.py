@@ -32,6 +32,7 @@ sequential asynchronous engine) through the vectorised
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 
 import numpy as np
 
@@ -80,6 +81,11 @@ class AsyncBatchPopulationEngine:
         instance, or ``None``/``"auto"`` to inherit the ambient backend
         — see :mod:`repro.backends`); a pure performance knob that
         never changes the sampled law.
+    record_hook:
+        Optional observation callback ``hook(tick_index, counts,
+        frozen)`` invoked after every :meth:`step` (i.e. per tick) with
+        the engine's own state.  Costs nothing when ``None``; used by
+        :mod:`repro.invariants` to record traces.
 
     Attributes
     ----------
@@ -102,10 +108,13 @@ class AsyncBatchPopulationEngine:
         seed: RandomState = None,
         adversary: Adversary | None = None,
         backend: str | None = None,
+        record_hook: Callable[[int, np.ndarray, np.ndarray], None]
+        | None = None,
     ) -> None:
         self.backend = (
             None if backend in (None, "auto") else resolve_backend(backend)
         )
+        self.record_hook = record_hook
         self.dynamics = dynamics
         self.adversary = adversary
         self.counts = build_replica_matrix(counts, num_replicas)
@@ -168,6 +177,8 @@ class AsyncBatchPopulationEngine:
                 done = np.flatnonzero(active)[confirmed]
                 self.consensus_ticks[done] = self.tick_index
                 self.frozen[done] = True
+        if self.record_hook is not None:
+            self.record_hook(self.tick_index, self.counts, self.frozen)
         return self.counts
 
     def run_ticks(self, ticks: int) -> np.ndarray:

@@ -145,6 +145,14 @@ class BatchPopulationEngine:
         instance, or ``None``/``"auto"`` to inherit the ambient backend
         — see :mod:`repro.backends`).  Like ``element_budget``, a pure
         performance knob: it never changes the sampled chain's law.
+    record_hook:
+        Optional observation callback ``hook(round_index, counts,
+        frozen)`` invoked after every :meth:`step` with the engine's
+        own state (the live ``(R, k)`` matrix and ``(R,)`` mask —
+        copy if you keep them).  The batch-engine counterpart of the
+        sequential engines' :class:`~repro.engine.callbacks.Observer`
+        protocol, used by :mod:`repro.invariants` to record traces;
+        costs nothing when ``None``.
 
     Attributes
     ----------
@@ -170,10 +178,13 @@ class BatchPopulationEngine:
         target: Callable[[np.ndarray], bool] | None = None,
         element_budget: int | None = None,
         backend: str | None = None,
+        record_hook: Callable[[int, np.ndarray, np.ndarray], None]
+        | None = None,
     ) -> None:
         self.backend = (
             None if backend in (None, "auto") else resolve_backend(backend)
         )
+        self.record_hook = record_hook
         if element_budget is not None:
             if element_budget < 1:
                 raise ConfigurationError(
@@ -252,6 +263,8 @@ class BatchPopulationEngine:
             done = active_indices[self._stopped(new_rows)]
             self.consensus_rounds[done] = self.round_index
             self.frozen[done] = True
+        if self.record_hook is not None:
+            self.record_hook(self.round_index, self.counts, self.frozen)
         return self.counts
 
     def all_consensus(self) -> bool:

@@ -98,6 +98,53 @@ class SweepPointError(ReproError, RuntimeError):
         )
 
 
+class ProvenanceError(ReproError, ValueError):
+    """A provenance artefact cannot be produced or extended.
+
+    Raised by :mod:`repro.provenance` when a value cannot be canonically
+    serialised (NaN/Infinity have no canonical JSON form, and a hash
+    over a platform-dependent rendering would not be stable) or when a
+    manifest chain cannot be appended to because its head entry is
+    unreadable.  *Verification* failures are not exceptions: they are
+    collected on the :class:`~repro.provenance.chain.ChainReport` so a
+    single ``repro verify`` pass can name every broken link.
+    """
+
+
+class CacheIntegrityError(ReproError, RuntimeError):
+    """A sweep cache file exists but cannot be decoded.
+
+    Raised by :func:`repro.sweep.run_sweep` when a cached point file is
+    corrupt or truncated (torn write from a crashed process, manual
+    tampering, disk fault) instead of propagating a raw JSON decode
+    error.  Carries the offending ``path``; deleting the named file
+    makes the next sweep re-measure the point.
+    """
+
+    def __init__(self, path, cause: BaseException) -> None:
+        self.path = path
+        super().__init__(
+            f"sweep cache file {str(path)!r} is corrupt "
+            f"({type(cause).__name__}: {cause}); delete it to "
+            "re-measure the point"
+        )
+
+
+class InvariantViolation(ReproError, RuntimeError):
+    """A registered run invariant failed on a recorded trace.
+
+    Raised by :mod:`repro.invariants` checks (mass conservation,
+    frozen-row immutability, adversary budget accounting, ...) with the
+    invariant's registered name and a message naming the first
+    offending snapshot/row, so a lying simulator is debuggable from the
+    exception alone.
+    """
+
+    def __init__(self, invariant: str, message: str) -> None:
+        self.invariant = invariant
+        super().__init__(f"invariant {invariant!r} violated: {message}")
+
+
 class ServiceError(ReproError, RuntimeError):
     """Base class for simulation-service failures (store, fleet, API)."""
 

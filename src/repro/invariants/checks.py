@@ -1,0 +1,220 @@
+"""The registered run invariants: what a non-lying simulator preserves.
+
+Each check examines a :class:`~repro.invariants.trace.RunTrace` and
+raises :class:`~repro.errors.InvariantViolation` — an explicit typed
+raise, never a bare ``assert``, so the net survives ``python -O``
+(``repro lint``'s *optimize-safe-contracts* discipline).  The catalogue
+covers the paper-level conservation laws every engine family must obey:
+
+* **mass-conservation** — a dynamics round and an F-bounded corruption
+  both move opinions between labels; they never create or destroy
+  vertices, so every row of every snapshot sums to ``n``.
+* **frozen-immutability** — a row that stopped (consensus or target)
+  is excluded from sampling and corruption; its counts are final.
+* **monotone-consensus** — stopping is absorbing: the frozen mask only
+  grows, and observation indices advance strictly.
+* **adversary-budget** — the [GL18] contract, accounted from the
+  ledger: at most F vertices moved per row per corruption, and at most
+  ``F * calls`` in total.
+* **undecided-censoring** — the Undecided-State convention: the
+  undecided slot is never a winner; an all-undecided row is censored,
+  not frozen, and (absent a custom target) a frozen row is a *decided*
+  consensus with an empty undecided slot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvariantViolation
+from repro.invariants.registry import register_invariant
+from repro.invariants.trace import RunTrace
+
+__all__ = [
+    "AdversaryBudgetInvariant",
+    "FrozenImmutabilityInvariant",
+    "MassConservationInvariant",
+    "MonotoneConsensusInvariant",
+    "UndecidedCensoringInvariant",
+]
+
+
+class MassConservationInvariant:
+    """Every snapshot row carries exactly ``n`` vertices."""
+
+    name = "mass-conservation"
+    description = (
+        "per-row total mass equals n in every recorded snapshot"
+    )
+
+    def check(self, trace: RunTrace) -> None:
+        for snapshot in trace.snapshots:
+            sums = snapshot.counts.sum(axis=1)
+            bad = np.flatnonzero(sums != trace.n)
+            if bad.size:
+                row = int(bad[0])
+                raise InvariantViolation(
+                    self.name,
+                    f"snapshot at index {snapshot.index}, row {row}: "
+                    f"total mass {int(sums[row])} != n={trace.n} "
+                    f"({trace.engine}/{trace.dynamics})",
+                )
+
+
+class FrozenImmutabilityInvariant:
+    """Counts of a frozen row never change in later snapshots."""
+
+    name = "frozen-immutability"
+    description = (
+        "rows stay bit-identical from the snapshot that froze them on"
+    )
+
+    def check(self, trace: RunTrace) -> None:
+        for previous, current in zip(
+            trace.snapshots, trace.snapshots[1:]
+        ):
+            frozen = np.flatnonzero(previous.frozen)
+            if frozen.size == 0:
+                continue
+            changed = np.flatnonzero(
+                (
+                    previous.counts[frozen] != current.counts[frozen]
+                ).any(axis=1)
+            )
+            if changed.size:
+                row = int(frozen[changed[0]])
+                raise InvariantViolation(
+                    self.name,
+                    f"row {row} froze by index {previous.index} but "
+                    f"its counts changed by index {current.index} "
+                    f"({trace.engine}/{trace.dynamics})",
+                )
+
+
+class MonotoneConsensusInvariant:
+    """Stopping is absorbing and observation time advances."""
+
+    name = "monotone-consensus"
+    description = (
+        "frozen masks only grow and snapshot indices strictly increase"
+    )
+
+    def check(self, trace: RunTrace) -> None:
+        for previous, current in zip(
+            trace.snapshots, trace.snapshots[1:]
+        ):
+            if current.index <= previous.index:
+                raise InvariantViolation(
+                    self.name,
+                    f"snapshot index went from {previous.index} to "
+                    f"{current.index} ({trace.engine}/{trace.dynamics})",
+                )
+            unfrozen = np.flatnonzero(
+                previous.frozen & ~current.frozen
+            )
+            if unfrozen.size:
+                raise InvariantViolation(
+                    self.name,
+                    f"row {int(unfrozen[0])} was frozen at index "
+                    f"{previous.index} but thawed by index "
+                    f"{current.index} ({trace.engine}/{trace.dynamics})",
+                )
+
+
+class AdversaryBudgetInvariant:
+    """The ledger respects the per-round and cumulative F budgets."""
+
+    name = "adversary-budget"
+    description = (
+        "each corruption moves at most F vertices per row; the ledger "
+        "total stays within F * calls"
+    )
+
+    def check(self, trace: RunTrace) -> None:
+        budget = trace.adversary_budget
+        if budget is None:
+            if trace.corruptions:
+                raise InvariantViolation(
+                    self.name,
+                    f"{len(trace.corruptions)} corruption(s) recorded "
+                    f"on an adversary-free run "
+                    f"({trace.engine}/{trace.dynamics})",
+                )
+            return
+        total = 0
+        for record in trace.corruptions:
+            over = np.flatnonzero(record.moved > budget)
+            if over.size:
+                row = int(over[0])
+                raise InvariantViolation(
+                    self.name,
+                    f"corruption call {record.call} moved "
+                    f"{int(record.moved[row])} vertices in row {row}, "
+                    f"exceeding the per-round budget F={budget} "
+                    f"({trace.engine}/{trace.dynamics})",
+                )
+            total += int(record.moved.sum())
+        # Cumulative accounting: with R rows each corruption call may
+        # move up to F per row, so the ledger-wide ceiling is
+        # F * rows-touched summed over calls.
+        ceiling = budget * sum(
+            int(record.moved.size) for record in trace.corruptions
+        )
+        if total > ceiling:
+            raise InvariantViolation(
+                self.name,
+                f"ledger total of {total} moved vertices exceeds the "
+                f"cumulative budget {ceiling} "
+                f"({trace.engine}/{trace.dynamics})",
+            )
+
+
+class UndecidedCensoringInvariant:
+    """The undecided slot censors rows; it never wins."""
+
+    name = "undecided-censoring"
+    description = (
+        "no frozen row is all-undecided; absent a custom target, "
+        "frozen rows are decided consensus with an empty undecided slot"
+    )
+
+    def check(self, trace: RunTrace) -> None:
+        label = trace.undecided_label
+        if label is None:
+            return
+        for snapshot in trace.snapshots:
+            frozen = np.flatnonzero(snapshot.frozen)
+            if frozen.size == 0:
+                continue
+            undecided = snapshot.counts[frozen, label]
+            saturated = np.flatnonzero(undecided == trace.n)
+            if saturated.size:
+                raise InvariantViolation(
+                    self.name,
+                    f"row {int(frozen[saturated[0]])} froze "
+                    f"all-undecided at index {snapshot.index} — the "
+                    f"undecided slot must censor, never win "
+                    f"({trace.engine}/{trace.dynamics})",
+                )
+            if trace.custom_target:
+                continue
+            leaders = snapshot.counts[frozen].max(axis=1)
+            undecided_consensus = np.flatnonzero(
+                (undecided != 0) | (leaders != trace.n)
+            )
+            if undecided_consensus.size:
+                row = int(frozen[undecided_consensus[0]])
+                raise InvariantViolation(
+                    self.name,
+                    f"row {row} froze at index {snapshot.index} "
+                    f"without a decided consensus (undecided mass "
+                    f"{int(undecided[undecided_consensus[0]])}) "
+                    f"({trace.engine}/{trace.dynamics})",
+                )
+
+
+register_invariant(MassConservationInvariant())
+register_invariant(FrozenImmutabilityInvariant())
+register_invariant(MonotoneConsensusInvariant())
+register_invariant(AdversaryBudgetInvariant())
+register_invariant(UndecidedCensoringInvariant())

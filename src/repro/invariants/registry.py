@@ -1,0 +1,104 @@
+"""Invariant registry: named, enumerable run-trace checks.
+
+Mirrors the engine, backend and lint-rule registries
+(:mod:`repro.engine.registry`, :mod:`repro.backends.registry`,
+:mod:`repro.lint.model`): an invariant is registered under a short
+kebab-case name, looked up by name and enumerated for the harness and
+the tests — and because the registry follows the shared shape,
+``repro lint``'s *registry-completeness* rule statically checks that
+every concrete invariant class in the package is actually registered.
+
+An invariant is any object satisfying :class:`Invariant`:
+
+``name`` / ``description``
+    Identity and a one-line human summary.
+``check(trace)``
+    Examine a recorded :class:`~repro.invariants.trace.RunTrace` and
+    raise :class:`~repro.errors.InvariantViolation` (nothing else) on
+    the first violation; return normally when the trace is clean.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Invariant",
+    "available_invariants",
+    "check_trace",
+    "get_invariant",
+    "register_invariant",
+    "unregister_invariant",
+]
+
+
+@runtime_checkable
+class Invariant(Protocol):
+    """Structural interface every registered invariant must satisfy."""
+
+    name: str
+    description: str
+
+    def check(self, trace) -> None:  # pragma: no cover - protocol
+        ...
+
+
+_REGISTRY: dict[str, Invariant] = {}
+
+
+def register_invariant(
+    invariant: Invariant, *, replace: bool = False
+) -> Invariant:
+    """Register ``invariant`` under ``invariant.name``; returns it.
+
+    Duplicate names raise :class:`ConfigurationError` unless
+    ``replace=True``, matching the engine and backend registries.
+    """
+    name = getattr(invariant, "name", None)
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(
+            f"invariant name must be a non-empty string, got {name!r}"
+        )
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"invariant {name!r} is already registered; pass "
+            "replace=True to override it"
+        )
+    _REGISTRY[name] = invariant
+    return invariant
+
+
+def unregister_invariant(name: str) -> None:
+    """Remove a registry entry (no-op when absent); for tests/plugins."""
+    _REGISTRY.pop(name, None)
+
+
+def get_invariant(name: str) -> Invariant:
+    """Look up a registered invariant by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown invariant {name!r}; known invariants: "
+            f"{available_invariants()}"
+        ) from None
+
+
+def available_invariants() -> list[str]:
+    """Sorted names of every registered invariant."""
+    return sorted(_REGISTRY)
+
+
+def check_trace(trace, select: list[str] | None = None) -> None:
+    """Run registered invariants over ``trace``.
+
+    ``select`` names a subset (unknown names raise
+    :class:`ConfigurationError`); the default runs every registered
+    invariant in name order.  The first violation propagates as
+    :class:`~repro.errors.InvariantViolation`.
+    """
+    names = available_invariants() if select is None else list(select)
+    for name in names:
+        get_invariant(name).check(trace)

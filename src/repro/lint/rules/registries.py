@@ -15,7 +15,10 @@ is untested compiled code.  Four sub-checks:
 * every concrete ``*Backend`` class (Protocol definitions exempt) is
   passed to a ``register_backend`` call somewhere in the tree;
 * every name in ``numba_kernels.py``'s ``KERNEL_NAMES`` is requested
-  by some ``.kernel("<name>")`` dispatch site.
+  by some ``.kernel("<name>")`` dispatch site;
+* every concrete ``*Invariant`` class in ``invariants/`` (Protocol
+  definitions exempt) is passed to a ``register_invariant`` call, so
+  the cross-engine harness can never silently drop a check.
 """
 
 from __future__ import annotations
@@ -74,9 +77,9 @@ def _module_classes(file: SourceFile) -> list[ast.ClassDef]:
 class RegistryCompletenessRule:
     name = "registry-completeness"
     description = (
-        "every Dynamics subclass, engine class, and backend class must "
-        "be registered, and every exported numba kernel name must have a "
-        "requesting .kernel() dispatch site"
+        "every Dynamics subclass, engine class, backend class, and "
+        "invariant class must be registered, and every exported numba "
+        "kernel name must have a requesting .kernel() dispatch site"
     )
     severity = "error"
 
@@ -85,6 +88,7 @@ class RegistryCompletenessRule:
         yield from self._check_engines(context)
         yield from self._check_backends(context)
         yield from self._check_kernels(context)
+        yield from self._check_invariants(context)
 
     # -- dynamics ------------------------------------------------------
     def _check_dynamics(self, context: LintContext) -> Iterator[Diagnostic]:
@@ -169,6 +173,37 @@ class RegistryCompletenessRule:
                         message=(
                             f"backend class {cls.name} is not passed to "
                             "a register_backend call anywhere in the tree"
+                        ),
+                    )
+
+    # -- invariants ----------------------------------------------------
+    def _check_invariants(
+        self, context: LintContext
+    ) -> Iterator[Diagnostic]:
+        registered: set[str] = set()
+        for file in context.files:
+            for call in _calls_to(file.tree, "register_invariant"):
+                registered |= _names_in(call)
+        for file in context.in_directory("invariants"):
+            if file.name == "registry.py":
+                continue
+            for cls in _module_classes(file):
+                if (
+                    not cls.name.endswith("Invariant")
+                    or cls.name == "Invariant"
+                ):
+                    continue
+                if _has_protocol_base(cls):
+                    continue
+                if cls.name not in registered:
+                    yield Diagnostic(
+                        path=file.relative,
+                        line=cls.lineno,
+                        rule=self.name,
+                        message=(
+                            f"invariant class {cls.name} is not passed "
+                            "to a register_invariant call anywhere in "
+                            "the tree; check_trace can never run it"
                         ),
                     )
 

@@ -1,0 +1,40 @@
+"""Verifiable provenance: hash-chained manifests for result artefacts.
+
+Every sweep-cache point and every ``benchmarks/out/BENCH_*.json`` is
+attested by a canonical-JSON manifest (payload hash, spec hash, git
+SHA, backend, engine, seed) appended to a per-directory hash chain;
+``repro verify <dir>`` replays the chain and fails non-zero on any
+broken link, tampered payload or orphaned manifest.  See
+:mod:`repro.provenance.chain` for the chain layout and
+:mod:`repro.provenance.canonical` for the serialisation rules.
+"""
+
+from repro.provenance.canonical import (
+    canon_hash,
+    canonical_json,
+    hash_bytes,
+)
+from repro.provenance.chain import (
+    MANIFEST_SCHEMA,
+    PROVENANCE_DIRNAME,
+    ChainReport,
+    chain_hash,
+    genesis_root,
+    record_artifact,
+    verify_chain,
+)
+from repro.provenance.revision import git_revision
+
+__all__ = [
+    "ChainReport",
+    "MANIFEST_SCHEMA",
+    "PROVENANCE_DIRNAME",
+    "canon_hash",
+    "canonical_json",
+    "chain_hash",
+    "genesis_root",
+    "git_revision",
+    "hash_bytes",
+    "record_artifact",
+    "verify_chain",
+]

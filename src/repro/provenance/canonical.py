@@ -1,0 +1,67 @@
+"""Canonical JSON and content hashing for provenance artefacts.
+
+Chain integrity only works if every party — the writer stamping a
+manifest, a verifier replaying it years later, possibly on a different
+platform — serialises the same value to the same bytes.  The canonical
+form pins everything ``json.dumps`` leaves open:
+
+* keys sorted at every nesting level,
+* compact separators (no whitespace to disagree about),
+* ``ensure_ascii=False`` (UTF-8 bytes, not escape-sequence spellings),
+* ``allow_nan=False`` — NaN/Infinity are *rejected*, not serialised:
+  their JSON spellings are non-standard and their semantics
+  (``NaN != NaN``) make a "same value, same hash" contract impossible.
+
+Hashes are SHA-256 hex digests over the UTF-8 encoding of that form.
+The same discipline as SNIPPETS' audit-chain verifier, so manifests
+written by one process verify byte-for-byte in another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import ProvenanceError
+
+__all__ = ["canon_hash", "canonical_json", "hash_bytes"]
+
+
+def canonical_json(value) -> str:
+    """Serialise ``value`` into its unique canonical JSON form.
+
+    Only JSON-native types (dict/list/str/int/float/bool/None) are
+    accepted; non-finite floats and unserialisable objects raise
+    :class:`~repro.errors.ProvenanceError` — a hash over a value with
+    no canonical form would be unverifiable.
+    """
+    try:
+        return json.dumps(
+            value,
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=False,
+            allow_nan=False,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProvenanceError(
+            f"value has no canonical JSON form: {exc}"
+        ) from exc
+
+
+def canon_hash(value) -> str:
+    """SHA-256 hex digest of ``value``'s canonical JSON form."""
+    return hashlib.sha256(
+        canonical_json(value).encode("utf-8")
+    ).hexdigest()
+
+
+def hash_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of raw payload bytes.
+
+    Payload files (sweep points, ``BENCH_*.json``) are hashed as the
+    exact bytes on disk, *not* re-canonicalised: the manifest attests
+    to the artefact the writer produced, so any later byte flip — even
+    a semantically neutral whitespace edit — is a detectable tamper.
+    """
+    return hashlib.sha256(data).hexdigest()

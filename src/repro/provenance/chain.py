@@ -1,0 +1,399 @@
+"""Hash-chained manifest ledger for result directories.
+
+Every directory of managed artefacts (a sweep cache, ``benchmarks/out``)
+grows a ``provenance/`` subdirectory of manifests, one per payload
+write, named ``manifest-<seq>.json``.  A manifest records *what* was
+written (payload filename and the SHA-256 of its exact bytes), *how* it
+was produced (a free-form ``context``: spec hash, git SHA, backend,
+engine, seed entropy), and *where it sits in history*:
+
+``prev_chain_root``
+    The chain root of the previous manifest (the genesis root for the
+    first entry).
+``chain_root``
+    ``chain_hash(prev_chain_root, canon_hash(entry-sans-chain_root))``
+    — so every entry's root commits to the entire history before it,
+    exactly like the audit-chain idiom this module is patterned on.
+
+Tampering with any payload byte, any manifest field, or the order or
+presence of manifests therefore breaks verification at a *nameable*
+first link.
+
+Concurrent writers (service worker threads, separate resuming
+processes) are linearised without locks: a manifest is written to a
+hidden temp file and published with ``os.link`` — an atomic
+create-with-content that fails on an existing target — and a writer
+that loses the race simply re-reads the head and retries with the next
+sequence number.  Re-writing a payload (a raced sweep point, a
+re-measured benchmark) appends a *new* manifest; verification checks
+the payload's bytes against its most recent manifest and keeps the
+older entries as history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ProvenanceError
+from repro.provenance.canonical import (
+    canon_hash,
+    canonical_json,
+    hash_bytes,
+)
+
+__all__ = [
+    "ChainReport",
+    "MANIFEST_SCHEMA",
+    "PROVENANCE_DIRNAME",
+    "chain_hash",
+    "genesis_root",
+    "record_artifact",
+    "verify_chain",
+]
+
+#: Schema identifier stamped on (and demanded of) every manifest.
+MANIFEST_SCHEMA = "repro-provenance/v1"
+
+#: Name of the per-directory subdirectory holding the manifest chain.
+PROVENANCE_DIRNAME = "provenance"
+
+_MANIFEST_RE = re.compile(r"^manifest-(\d{6})\.json$")
+
+#: Payload files the chain manages: JSON documents directly inside the
+#: chained directory.  CSV exports, hidden/temp files and
+#: subdirectories are outside the attestation boundary.
+_PAYLOAD_GLOB = "*.json"
+
+
+def genesis_root() -> str:
+    """Chain root before any entry: the hash of the schema identifier."""
+    return hashlib.sha256(MANIFEST_SCHEMA.encode("utf-8")).hexdigest()
+
+
+def chain_hash(prev_root: str, entry_hash: str) -> str:
+    """Fold one entry hash into the running chain root."""
+    return hashlib.sha256(
+        f"{prev_root}:{entry_hash}".encode("utf-8")
+    ).hexdigest()
+
+
+def _manifest_path(chain_dir: Path, seq: int) -> Path:
+    return chain_dir / f"manifest-{seq:06d}.json"
+
+
+def _chain_head(chain_dir: Path) -> tuple[int, str]:
+    """Highest committed sequence number and its chain root.
+
+    An unreadable head raises :class:`~repro.errors.ProvenanceError`:
+    appending past a corrupt entry would silently fork history, so the
+    writer fails loudly and ``repro verify`` names the broken link.
+    """
+    head_seq = 0
+    for entry in chain_dir.iterdir():
+        match = _MANIFEST_RE.match(entry.name)
+        if match:
+            head_seq = max(head_seq, int(match.group(1)))
+    if head_seq == 0:
+        return 0, genesis_root()
+    head_path = _manifest_path(chain_dir, head_seq)
+    try:
+        head = json.loads(head_path.read_text(encoding="utf-8"))
+        root = head["chain_root"]
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise ProvenanceError(
+            f"provenance chain head {head_path} is unreadable "
+            f"({type(exc).__name__}: {exc}); run 'repro verify' on "
+            f"{chain_dir.parent} to locate the damage"
+        ) from exc
+    if not isinstance(root, str):
+        raise ProvenanceError(
+            f"provenance chain head {head_path} has a non-string "
+            "chain_root"
+        )
+    return head_seq, root
+
+
+def record_artifact(
+    payload_path: str | Path,
+    *,
+    kind: str,
+    context: dict | None = None,
+) -> dict:
+    """Append one manifest for ``payload_path`` to its directory's chain.
+
+    Hashes the payload's current bytes, links the new entry to the
+    chain head and commits it with an atomic exclusive create; on a
+    lost race the head is re-read and the append retried under the next
+    sequence number, so concurrent writers (worker threads, separate
+    resuming processes) each land exactly one entry.  Returns the
+    committed manifest document.
+
+    ``context`` must be canonically serialisable (JSON-native, finite
+    floats); it is the writer's attestation of how the payload was
+    produced — spec hash, git SHA, backend, engine, seed.
+    """
+    payload_path = Path(payload_path)
+    data = payload_path.read_bytes()
+    chain_dir = payload_path.parent / PROVENANCE_DIRNAME
+    chain_dir.mkdir(parents=True, exist_ok=True)
+    base = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": str(kind),
+        "payload": payload_path.name,
+        "payload_sha256": hash_bytes(data),
+        "context": dict(context or {}),
+    }
+    while True:
+        head_seq, prev_root = _chain_head(chain_dir)
+        entry = dict(base, seq=head_seq + 1, prev_chain_root=prev_root)
+        entry["chain_root"] = chain_hash(prev_root, canon_hash(entry))
+        document = canonical_json(entry)
+        target = _manifest_path(chain_dir, head_seq + 1)
+        # Two-step commit: the full document lands in a hidden temp
+        # file first (dot-prefixed, so readers never parse it), then
+        # os.link publishes it under the sequence-numbered name — an
+        # atomic create-with-content that still fails on an existing
+        # target, so a concurrent head reader can never observe a
+        # half-written manifest.
+        handle, temp_name = tempfile.mkstemp(
+            dir=chain_dir, prefix=".manifest-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(document)
+            try:
+                os.link(temp_name, target)
+            except FileExistsError:
+                # Lost the append race: another writer committed this
+                # sequence number first.  Chain from the new head.
+                continue
+            return entry
+        finally:
+            os.unlink(temp_name)
+
+
+@dataclass
+class ChainReport:
+    """Outcome of replay-verifying one directory's manifest chain.
+
+    ``errors`` is ordered: chain-walk failures come first, in sequence
+    order, so ``first_broken`` names the earliest broken link — the
+    property the tamper tests pin down.
+    """
+
+    directory: str
+    entries: int = 0
+    payloads: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def first_broken(self) -> str | None:
+        """The first verification failure, or ``None`` when intact."""
+        return self.errors[0] if self.errors else None
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"ok: {self.directory} ({self.entries} manifest(s), "
+                f"{self.payloads} payload(s) attested)"
+            )
+        lines = [
+            f"BROKEN: {self.directory} "
+            f"({len(self.errors)} verification error(s))"
+        ]
+        lines.extend(f"  - {error}" for error in self.errors)
+        return "\n".join(lines)
+
+
+def _load_manifests(
+    chain_dir: Path, report: ChainReport
+) -> dict[int, tuple[Path, dict | None]]:
+    """Parse every manifest file, recording structural problems.
+
+    Returns ``{seq: (path, entry-or-None)}``; unparseable entries map
+    to ``None`` so the chain walk can still name them as the broken
+    link at their position.
+    """
+    manifests: dict[int, tuple[Path, dict | None]] = {}
+    for entry_path in sorted(chain_dir.iterdir()):
+        if entry_path.name.startswith("."):
+            continue
+        match = _MANIFEST_RE.match(entry_path.name)
+        if not match:
+            report.errors.append(
+                f"unrecognised file in provenance directory: "
+                f"{entry_path.name}"
+            )
+            continue
+        seq = int(match.group(1))
+        try:
+            document = json.loads(entry_path.read_text(encoding="utf-8"))
+            if not isinstance(document, dict):
+                raise ValueError("manifest is not a JSON object")
+        except (OSError, ValueError):
+            manifests[seq] = (entry_path, None)
+            continue
+        manifests[seq] = (entry_path, document)
+    return manifests
+
+
+def _walk_chain(
+    manifests: dict[int, tuple[Path, dict | None]],
+    report: ChainReport,
+) -> None:
+    """Replay the chain from genesis; stop at the first broken link.
+
+    Later entries chain *through* a broken one, so continuing past the
+    first failure would only cascade one root mismatch into dozens —
+    the first link names the damage.
+    """
+    prev_root = genesis_root()
+    for expected_seq in range(1, max(manifests, default=0) + 1):
+        if expected_seq not in manifests:
+            report.errors.append(
+                f"missing manifest seq {expected_seq} "
+                "(gap in the chain)"
+            )
+            return
+        path, entry = manifests[expected_seq]
+        if entry is None:
+            report.errors.append(
+                f"manifest {path.name} is unreadable (corrupt JSON)"
+            )
+            return
+        if entry.get("schema") != MANIFEST_SCHEMA:
+            report.errors.append(
+                f"manifest {path.name} has unknown schema "
+                f"{entry.get('schema')!r}"
+            )
+            return
+        if entry.get("seq") != expected_seq:
+            report.errors.append(
+                f"manifest {path.name} declares seq "
+                f"{entry.get('seq')!r}, expected {expected_seq}"
+            )
+            return
+        if entry.get("prev_chain_root") != prev_root:
+            report.errors.append(
+                f"manifest {path.name} does not link to its "
+                f"predecessor: prev_chain_root mismatch"
+            )
+            return
+        body = {
+            key: value
+            for key, value in entry.items()
+            if key != "chain_root"
+        }
+        try:
+            expected_root = chain_hash(prev_root, canon_hash(body))
+        except ProvenanceError as exc:
+            report.errors.append(
+                f"manifest {path.name} cannot be re-hashed: {exc}"
+            )
+            return
+        if entry.get("chain_root") != expected_root:
+            report.errors.append(
+                f"manifest {path.name} is tampered: recorded "
+                f"chain_root does not match its recomputed content "
+                f"hash"
+            )
+            return
+        prev_root = expected_root
+        report.entries += 1
+
+
+def _check_payloads(
+    directory: Path,
+    manifests: dict[int, tuple[Path, dict | None]],
+    report: ChainReport,
+) -> None:
+    """Match every payload against its most recent manifest, and back.
+
+    A payload may be legitimately rewritten (raced sweep point,
+    re-measured benchmark) — each rewrite appends a manifest, so only
+    the *latest* entry per payload must match the bytes on disk;
+    earlier entries are history.  Both directions are checked: a
+    manifest whose payload vanished is an orphan, and a managed payload
+    with no manifest at all escaped the attestation boundary.
+    """
+    latest: dict[str, dict] = {}
+    for seq in sorted(manifests):
+        _, entry = manifests[seq]
+        if entry is None:
+            continue
+        name = entry.get("payload")
+        if isinstance(name, str) and "/" not in name and name:
+            latest[name] = entry
+    for name in sorted(latest):
+        entry = latest[name]
+        payload_path = directory / name
+        if not payload_path.exists():
+            report.errors.append(
+                f"orphaned manifest (seq {entry.get('seq')}): payload "
+                f"{name} is missing"
+            )
+            continue
+        digest = hash_bytes(payload_path.read_bytes())
+        if digest != entry.get("payload_sha256"):
+            report.errors.append(
+                f"payload {name} does not match its manifest "
+                f"(seq {entry.get('seq')}): bytes were modified after "
+                "the chain attested them"
+            )
+            continue
+        report.payloads += 1
+    for payload_path in sorted(directory.glob(_PAYLOAD_GLOB)):
+        if not payload_path.is_file():
+            continue
+        if payload_path.name.startswith("."):
+            continue
+        if payload_path.name not in latest:
+            report.errors.append(
+                f"payload {payload_path.name} has no provenance "
+                "manifest"
+            )
+
+
+def verify_chain(directory: str | Path) -> ChainReport:
+    """Replay-verify one directory's manifest chain end to end.
+
+    Checks, in order: the chain itself (contiguous sequence numbers,
+    every entry re-hashing to its recorded ``chain_root``, every link's
+    ``prev_chain_root`` matching its predecessor), then payload
+    integrity (latest manifest per payload matches the bytes on disk,
+    no orphaned manifests) and coverage (every managed ``*.json``
+    payload carries a manifest).  A directory with neither manifests
+    nor managed payloads verifies vacuously — an empty chain is a
+    valid chain.  Never raises on damaged input: all failures land on
+    the returned :class:`ChainReport`, first broken link first.
+    """
+    directory = Path(directory)
+    report = ChainReport(directory=str(directory))
+    if not directory.is_dir():
+        report.errors.append(f"not a directory: {directory}")
+        return report
+    chain_dir = directory / PROVENANCE_DIRNAME
+    if not chain_dir.is_dir():
+        for payload_path in sorted(directory.glob(_PAYLOAD_GLOB)):
+            if payload_path.is_file() and not payload_path.name.startswith(
+                "."
+            ):
+                report.errors.append(
+                    f"payload {payload_path.name} has no provenance "
+                    "manifest (no provenance directory)"
+                )
+        return report
+    manifests = _load_manifests(chain_dir, report)
+    _walk_chain(manifests, report)
+    _check_payloads(directory, manifests, report)
+    return report

@@ -1,0 +1,49 @@
+"""Source-revision lookup for provenance manifests.
+
+Manifests stamp the git SHA the artefact was produced at, so a cached
+number can be tied back to the exact code revision.  Outside a git
+checkout (installed package, stripped CI artefact) the SHA is simply
+``None`` — absence of provenance detail is recorded honestly rather
+than guessed.
+"""
+
+from __future__ import annotations
+
+import functools
+import subprocess
+from pathlib import Path
+
+__all__ = ["git_revision"]
+
+
+@functools.lru_cache(maxsize=8)
+def _revision_of(directory: str) -> str | None:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=directory,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=10,
+            ).stdout.strip()
+            or None
+        )
+    except Exception:
+        return None
+
+
+def git_revision(start: str | Path | None = None) -> str | None:
+    """Current commit SHA of the checkout containing ``start``.
+
+    ``start`` defaults to the installed :mod:`repro` package source, so
+    sweep-point manifests record the revision of the *code*, not of
+    whatever directory the cache happens to live in.  Returns ``None``
+    outside a git checkout.  Memoised per directory — manifests are
+    stamped once per point, and a subprocess per point would dominate
+    small sweeps.
+    """
+    if start is None:
+        start = Path(__file__).parent
+    return _revision_of(str(Path(start)))

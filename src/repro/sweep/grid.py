@@ -54,8 +54,13 @@ from repro.engine import (
     get_engine,
     run_until_consensus,
 )
-from repro.errors import ConfigurationError, SweepPointError
+from repro.errors import (
+    CacheIntegrityError,
+    ConfigurationError,
+    SweepPointError,
+)
 from repro.graphs import make_graph
+from repro.provenance import canon_hash, git_revision, record_artifact
 from repro.seeding import RandomState, spawn_generators
 from repro.simulation import SimulationSpec, execute
 
@@ -463,6 +468,65 @@ def _measure_point_batch(
     return tuple(float(value) for value in values)
 
 
+def _point_engine(params: Mapping, measure: str) -> str:
+    """The registered engine family a point's measurement runs.
+
+    Mirrors :func:`spec_from_params`' resolution (graph points run the
+    agent chain, the default is the population chain) plus the batch
+    sibling swap, so a point's provenance manifest names the engine
+    that actually produced its values.
+    """
+    engine = params.get("engine")
+    if "graph" in params and params["graph"] != "complete":
+        engine = "agent"
+    elif engine is None:
+        engine = "population"
+    return _BATCH_SIBLING[engine] if measure == "batch" else engine
+
+
+def _stamp_point_manifest(
+    cache_file: Path,
+    params: Mapping,
+    measure: str,
+    num_runs: int,
+    entropy: list[int],
+) -> None:
+    """Append a provenance manifest for one freshly written point.
+
+    The single choke point for sweep-cache provenance: every cache
+    write — direct :func:`run_sweep` callers, the worker pool (cache
+    files land in the parent process) and the service fleet (workers
+    execute jobs through :func:`run_sweep`) — passes through
+    :func:`_finish`, so stamping here covers them all.  The manifest
+    ties the payload bytes to the spec (full canonical parameter dict,
+    versioned measurement mode, replica count), the code revision, the
+    backend, the engine family and the point's seed entropy; ``repro
+    verify <cache_dir>`` replays the resulting chain.
+    """
+    canon_params = {str(key): params[key] for key in sorted(params)}
+    record_artifact(
+        cache_file,
+        kind="sweep-point",
+        context={
+            "point_key": cache_file.stem,
+            "spec_hash": canon_hash(
+                {
+                    "params": canon_params,
+                    "measure": f"{measure}/v1",
+                    "num_runs": int(num_runs),
+                }
+            ),
+            "git_sha": git_revision(),
+            "backend": resolve_backend(
+                str(params.get("backend", AUTO_BACKEND))
+            ).name,
+            "engine": _point_engine(params, measure),
+            "seed_entropy": [int(part) for part in entropy],
+            "measure": measure,
+        },
+    )
+
+
 def _write_point_atomic(cache_file: Path, payload: dict) -> None:
     """Write a point's cache entry via temp-file + ``os.replace``.
 
@@ -583,11 +647,19 @@ def run_sweep(
         key = _point_key(params, measure)
         cache_file = cache / f"{key}.json" if cache is not None else None
         if cache_file is not None and cache_file.exists():
-            payload = json.loads(cache_file.read_text())
-            point = SweepPoint(
-                params=payload["params"],
-                values=tuple(payload["values"]),
-            )
+            # A cached point must decode cleanly before its values are
+            # trusted: a truncated or corrupted file (crashed writer on
+            # a pre-atomic-write cache, disk fault, manual edit) raises
+            # a typed error naming the file instead of surfacing a raw
+            # JSON traceback deep inside a long sweep.
+            try:
+                payload = json.loads(cache_file.read_text())
+                point = SweepPoint(
+                    params=payload["params"],
+                    values=tuple(payload["values"]),
+                )
+            except (ValueError, KeyError, TypeError) as exc:
+                raise CacheIntegrityError(cache_file, exc) from exc
             results.append(point)
             _advance(point)
             continue
@@ -608,7 +680,7 @@ def run_sweep(
         # in hand, so an interrupted sweep keeps every finished point.
         # Writes go through temp-then-replace: concurrent resumers of
         # one cache dir can never observe a torn JSON document.
-        index, params, cache_file, _ = entry
+        index, params, cache_file, entropy = entry
         point = SweepPoint(params=params, values=values)
         if cache_file is not None:
             _write_point_atomic(
@@ -618,6 +690,9 @@ def run_sweep(
                     "values": list(values),
                     "measure": measure,
                 },
+            )
+            _stamp_point_manifest(
+                cache_file, params, measure, spec.num_runs, entropy
             )
         results[index] = point
         _advance(point)

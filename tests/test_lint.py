@@ -385,6 +385,35 @@ def test_registry_completeness_clean_tree(tmp_path):
     assert lint(tmp_path, "registry-completeness") == []
 
 
+def test_registry_completeness_unregistered_invariant(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "invariants/checks.py": """\
+                class MassInvariant:
+                    name = "mass"
+
+
+                class GhostInvariant:
+                    name = "ghost"
+
+
+                register_invariant(MassInvariant())
+            """,
+            "invariants/registry.py": """\
+                class Invariant(Protocol):
+                    name: str
+            """,
+        },
+    )
+    (diagnostic,) = lint(tmp_path, "registry-completeness")
+    assert diagnostic.render() == (
+        "invariants/checks.py:5: registry-completeness invariant class "
+        "GhostInvariant is not passed to a register_invariant call "
+        "anywhere in the tree; check_trace can never run it"
+    )
+
+
 # ---------------------------------------------------------------------
 # optimize-safe-contracts
 # ---------------------------------------------------------------------

@@ -594,6 +594,43 @@ class TestLifecycleAcrossRestart:
             result = client.wait(job.id, timeout=60.0)
             assert len(result["points"]) == 1
 
+    def test_restart_preserves_cache_provenance_chain(self, tmp_path):
+        """The cache's manifest chain survives an orphan-requeue cycle.
+
+        A job leased to a dead worker is re-queued by the next server
+        and completed; the shared cache's provenance chain must then
+        verify end to end — one manifest per point, no gaps and no
+        duplicates — and a second server finishing an overlapping job
+        must only append manifests for the genuinely new points.
+        """
+        from repro.provenance import verify_chain
+
+        db = tmp_path / "jobs.db"
+        cache_dir = tmp_path / "cache"
+        with JobStore(db) as store:
+            job = store.submit(_spec(ns=(64, 128)), client="alice")
+            store.lease_next("dead-worker")
+        with SimulationService(
+            db, cache_dir=cache_dir, num_workers=1
+        ) as service:
+            assert service.requeued_orphans == 1
+            client = ServiceClient(service.url, client_id="alice")
+            client.wait(job.id, timeout=60.0)
+        report = verify_chain(cache_dir)
+        assert report.ok, report.render()
+        assert report.entries == 2 and report.payloads == 2
+        # Second lifetime: an overlapping job appends only new points.
+        with SimulationService(
+            db, cache_dir=cache_dir, num_workers=1
+        ) as service:
+            client = ServiceClient(service.url, client_id="alice")
+            client.wait(
+                client.submit(_spec(ns=(64, 128, 256))), timeout=60.0
+            )
+        report = verify_chain(cache_dir)
+        assert report.ok, report.render()
+        assert report.entries == 3 and report.payloads == 3
+
 
 class TestEndToEndAcceptance:
     def test_eight_concurrent_clients_share_one_cache(self, tmp_path):

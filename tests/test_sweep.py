@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 from scipy.stats import ks_2samp
 
-from repro.errors import ConfigurationError
+from repro.errors import CacheIntegrityError, ConfigurationError
 from repro.sweep import (
     SweepPoint,
     SweepSpec,
@@ -139,6 +139,36 @@ class TestRunSweep:
         payload = json.loads(path.read_text())
         assert payload["params"] == {"x": 7}
         assert len(payload["values"]) == 1
+
+    def test_truncated_cache_file_raises_cache_integrity_error(
+        self, tmp_path
+    ):
+        spec = SweepSpec(grid={"x": [7]}, num_runs=1, seed=0)
+        run_sweep(spec, point_function=_cheap_point, cache_dir=tmp_path)
+        (path,) = tmp_path.glob("*.json")
+        # Simulate a crash mid-write / disk truncation.
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        with pytest.raises(CacheIntegrityError) as excinfo:
+            run_sweep(
+                spec, point_function=_cheap_point, cache_dir=tmp_path
+            )
+        message = str(excinfo.value)
+        assert path.name in message
+        assert "delete it to re-measure" in message
+
+    def test_cache_file_missing_key_raises_cache_integrity_error(
+        self, tmp_path
+    ):
+        spec = SweepSpec(grid={"x": [7]}, num_runs=1, seed=0)
+        run_sweep(spec, point_function=_cheap_point, cache_dir=tmp_path)
+        (path,) = tmp_path.glob("*.json")
+        payload = json.loads(path.read_text())
+        del payload["values"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CacheIntegrityError):
+            run_sweep(
+                spec, point_function=_cheap_point, cache_dir=tmp_path
+            )
 
     def test_point_key_stable_under_ordering(self):
         assert _point_key({"a": 1, "b": 2}) == _point_key({"b": 2, "a": 1})
