@@ -39,9 +39,12 @@ from repro.backends.registry import (
     active_backend,
     available_backends,
     backend_available,
+    backend_kernel,
     default_backend,
+    degraded_kernels,
     detect_backend,
     get_backend,
+    quarantine_kernel,
     register_backend,
     resolve_backend,
     unregister_backend,
@@ -57,9 +60,12 @@ __all__ = [
     "active_backend",
     "available_backends",
     "backend_available",
+    "backend_kernel",
     "default_backend",
+    "degraded_kernels",
     "detect_backend",
     "get_backend",
+    "quarantine_kernel",
     "register_backend",
     "resolve_backend",
     "unregister_backend",

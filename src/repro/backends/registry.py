@@ -52,12 +52,15 @@ A backend is any object satisfying :class:`ComputeBackend`:
 from __future__ import annotations
 
 import os
+import threading
+import warnings
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Protocol, runtime_checkable
 
 from repro.errors import BackendUnavailableError, ConfigurationError
+from repro.faults import fault_point, faults_armed
 
 __all__ = [
     "AUTO_BACKEND",
@@ -66,9 +69,12 @@ __all__ = [
     "active_backend",
     "available_backends",
     "backend_available",
+    "backend_kernel",
     "default_backend",
+    "degraded_kernels",
     "detect_backend",
     "get_backend",
+    "quarantine_kernel",
     "register_backend",
     "resolve_backend",
     "unregister_backend",
@@ -309,3 +315,89 @@ def use_backend(
 def _clear_default_cache() -> None:
     """Drop cached detection results (test helper)."""
     _DEFAULT_CACHE.clear()
+
+
+# -- runtime kernel degradation ---------------------------------------------
+#
+# A backend's self_check() certifies it at selection time, but a JIT
+# kernel can still die at *run* time (resource exhaustion, a numba
+# cache gone stale under it, an input shape its compilation never saw
+# — or an injected ``backend.kernel`` fault).  The dispatch sites all
+# keep the NumPy reference path as their fall-through, so the graceful
+# response is: quarantine that one kernel, warn once, and let the
+# reference path carry the run to completion.
+
+_QUARANTINE_LOCK = threading.Lock()
+
+# (backend name, kernel name) -> one-line reason.  Process-global
+# rather than per-backend-instance so the record survives registry
+# cache resets and is cheap to snapshot onto results.
+_QUARANTINED: dict[tuple[str, str], str] = {}
+
+
+def quarantine_kernel(
+    backend: ComputeBackend | str, name: str, reason: BaseException | str
+) -> None:
+    """Disable one backend kernel for the rest of the process.
+
+    Subsequent :func:`backend_kernel` lookups for it return ``None``
+    (the reference path).  Warns once per (backend, kernel) pair —
+    a degraded run must be visible, but not at one warning per batch.
+    """
+    backend_name = backend if isinstance(backend, str) else backend.name
+    message = (
+        f"{type(reason).__name__}: {reason}"
+        if isinstance(reason, BaseException)
+        else str(reason)
+    )
+    with _QUARANTINE_LOCK:
+        if (backend_name, name) in _QUARANTINED:
+            return
+        _QUARANTINED[(backend_name, name)] = message
+    warnings.warn(
+        f"backend {backend_name!r} kernel {name!r} failed at runtime "
+        f"({message}); falling back to the numpy reference "
+        "implementation for the rest of this process",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def degraded_kernels() -> dict[str, str]:
+    """Quarantined kernels as ``{"backend/kernel": reason}`` (snapshot)."""
+    with _QUARANTINE_LOCK:
+        return {
+            f"{backend}/{kernel}": reason
+            for (backend, kernel), reason in sorted(_QUARANTINED.items())
+        }
+
+
+def _clear_quarantine() -> None:
+    """Forget quarantined kernels (test helper)."""
+    with _QUARANTINE_LOCK:
+        _QUARANTINED.clear()
+
+
+def backend_kernel(name: str) -> Callable | None:
+    """The active backend's accelerated kernel for ``name``, if usable.
+
+    The hot-path dispatch API: consults :func:`active_backend`, skips
+    kernels quarantined by an earlier runtime failure, and — only when
+    a fault plan is armed — wraps the kernel so the ``backend.kernel``
+    fault point fires per invocation.  Disarmed, the returned kernel
+    is the backend's own callable, untouched.
+    """
+    backend = active_backend()
+    kernel = backend.kernel(name)
+    if kernel is None:
+        return None
+    if _QUARANTINED and (backend.name, name) in _QUARANTINED:
+        return None
+    if not faults_armed():
+        return kernel
+
+    def _faulted_kernel(*args, **kwargs):
+        fault_point("backend.kernel", kernel=name, backend=backend.name)
+        return kernel(*args, **kwargs)
+
+    return _faulted_kernel

@@ -68,6 +68,19 @@ Subcommands
     One job's lifecycle state, progress and retry accounting.
 ``result --url URL JOB_ID [--wait]``
     Result table of a finished job (``--wait`` polls first).
+``jobs --url URL [--state S | --dead] [--client C] [--requeue ID ...]``
+    List jobs on a running service, optionally filtered by state or
+    client (``--dead`` is shorthand for ``--state dead``); with
+    ``--requeue`` return the named dead jobs to the queue with a fresh
+    retry budget instead of listing.
+``chaos [--plan NAME | --plan-file PATH] [--seed N] [...]``
+    Stand up a throwaway service, submit a deterministic batch of
+    sweep jobs under the named seeded fault plan, and audit the chaos
+    invariants: every job settles done/dead, dead jobs carry errors,
+    no job is lost or duplicated, done results match a fault-free
+    baseline byte-for-byte, and the sweep cache's provenance chain
+    replays clean.  Exits non-zero on any violation; the same plan
+    name + seed replays the same fault schedule anywhere.
 ``lint [PATH ...] [--select RULE ...] [--list]``
     Statically check the package source (default: the installed
     ``repro`` package) against the codebase invariants — RNG seeding
@@ -104,7 +117,9 @@ from repro.errors import (
     GraphError,
 )
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.faults import available_plans
 from repro.graphs import GRAPH_FAMILIES, make_graph
+from repro.service.jobs import JOB_STATES
 from repro.simulation import INITIAL_FAMILIES
 
 __all__ = ["main"]
@@ -385,6 +400,116 @@ def _build_parser() -> argparse.ArgumentParser:
         help="--wait polling deadline in seconds (default 600)",
     )
 
+    jobs_parser = sub.add_parser(
+        "jobs",
+        help=(
+            "list jobs on a running service (or requeue dead ones "
+            "with --requeue)"
+        ),
+    )
+    _add_service_url(jobs_parser)
+    jobs_parser.add_argument(
+        "--state",
+        default=None,
+        choices=JOB_STATES,
+        help="only jobs in this lifecycle state",
+    )
+    jobs_parser.add_argument(
+        "--dead",
+        action="store_true",
+        help="shorthand for --state dead (retry budget exhausted)",
+    )
+    jobs_parser.add_argument(
+        "--client",
+        default=None,
+        help="only jobs submitted by this client id",
+    )
+    jobs_parser.add_argument(
+        "--requeue",
+        nargs="+",
+        metavar="JOB_ID",
+        default=None,
+        help=(
+            "return the named dead job(s) to the queue with a fresh "
+            "retry budget instead of listing"
+        ),
+    )
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help=(
+            "run the service stack under a seeded fault plan and "
+            "audit the chaos invariants (exits non-zero on violations)"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--plan",
+        default="mixed",
+        choices=available_plans(),
+        help="builtin fault plan to arm (default mixed)",
+    )
+    chaos_parser.add_argument(
+        "--plan-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON fault-plan document to arm instead of a builtin "
+            "plan (see README: fault injection)"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault-schedule seed (plan + seed replays identically)",
+    )
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=6, help="sweep jobs to submit"
+    )
+    chaos_parser.add_argument(
+        "--clients",
+        type=int,
+        default=2,
+        help="distinct client identities submitting jobs (default 2)",
+    )
+    chaos_parser.add_argument(
+        "--workers",
+        type=int,
+        default=3,
+        help="worker threads in the throwaway service (default 3)",
+    )
+    chaos_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="service retry budget per job (default 3)",
+    )
+    chaos_parser.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "working directory for the store/caches (default: a "
+            "fresh temp dir)"
+        ),
+    )
+    chaos_parser.add_argument(
+        "--keep",
+        action="store_true",
+        help="keep the working directory instead of removing it",
+    )
+    chaos_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the fault-free baseline measurement and comparison",
+    )
+    chaos_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for every job to settle (default 120)",
+    )
+
     status_parser = sub.add_parser(
         "status", help="show one service job's state and progress"
     )
@@ -641,6 +766,10 @@ def main(argv: list[str] | None = None) -> int:
         return _status(args)
     if args.command == "result":
         return _result(args)
+    if args.command == "jobs":
+        return _jobs(args)
+    if args.command == "chaos":
+        return _chaos(args)
     if args.command == "lint":
         return _lint(args)
     if args.command == "verify":
@@ -1127,6 +1256,85 @@ def _result(args) -> int:
         return 2
     _print_result_points(payload)
     return 0
+
+
+def _jobs(args) -> int:
+    from repro.errors import ReproError
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url)
+    state = "dead" if args.dead else args.state
+    if args.dead and args.state not in (None, "dead"):
+        print("error: --dead conflicts with --state "
+              f"{args.state!r}")
+        return 2
+    try:
+        if args.requeue:
+            for job_id in args.requeue:
+                payload = client.requeue(job_id)
+                print(
+                    f"requeued job {payload['id']} "
+                    f"(state={payload['state']})"
+                )
+            return 0
+        rows = client.jobs(state=state, client_id=args.client)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 2
+    if not rows:
+        print("no jobs match")
+        return 0
+    for job in rows:
+        progress = job["progress"]
+        line = (
+            f"{job['id']}  {job['state']:9s} "
+            f"{progress['done_points']}/{progress['total_points']} pts  "
+            f"client={job['client']} attempts={job['attempts']}"
+        )
+        if job.get("error"):
+            line += f"  error: {job['error']}"
+        print(line)
+    dead_count = sum(1 for job in rows if job["state"] == "dead")
+    if dead_count and not args.dead:
+        print(
+            f"{dead_count} dead job(s); requeue with: repro jobs "
+            f"--url {args.url} --requeue <JOB_ID>"
+        )
+    return 0
+
+
+def _chaos(args) -> int:
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.faults import FaultPlan, run_chaos
+
+    try:
+        if args.plan_file is not None:
+            plan = FaultPlan.from_json(
+                Path(args.plan_file).read_text()
+            )
+        else:
+            plan = args.plan
+        report = run_chaos(
+            plan,
+            seed=args.seed,
+            jobs=args.jobs,
+            clients=args.clients,
+            workers=args.workers,
+            max_retries=args.max_retries,
+            base_dir=args.dir,
+            keep=args.keep,
+            baseline=not args.no_baseline,
+            timeout=args.timeout,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(report.render())
+    if args.keep and args.dir:
+        print(f"artefacts kept under {args.dir}")
+    return 0 if report.ok else 1
 
 
 def _poll_and_print(client, job_id: str, timeout: float) -> int:

@@ -45,7 +45,7 @@ import abc
 
 import numpy as np
 
-from repro.backends import active_backend
+from repro.backends import active_backend, backend_kernel, quarantine_kernel
 from repro.state import validate_counts
 from repro.errors import StateError
 from repro.graphs.base import Graph
@@ -261,9 +261,15 @@ def sample_holders_batch(
     the same ``Generator`` call either way).
     """
     counts = np.asarray(counts, dtype=np.int64)
-    kernel = active_backend().kernel("sample_holders")
+    kernel = backend_kernel("sample_holders")
     if kernel is not None:
-        return kernel(counts, num_samples, rng)
+        try:
+            return kernel(counts, num_samples, rng)
+        except Exception as exc:
+            # A kernel dying at runtime degrades to the reference path
+            # below instead of killing the run (warns once, and the
+            # kernel stays quarantined for the rest of the process).
+            quarantine_kernel(active_backend(), "sample_holders", exc)
     cdf = counts.cumsum(axis=1)
     u = rng.integers(
         0, cdf[:, -1:], size=(counts.shape[0], num_samples)
@@ -299,11 +305,14 @@ def batch_categorical(
             f"{totals[row]!r}, expected 1 (probability matrix shape "
             f"{p.shape}" + (f", dynamics {dynamics!r})" if dynamics else ")")
         )
-    kernel = active_backend().kernel("batch_categorical")
+    kernel = backend_kernel("batch_categorical")
     if kernel is not None:
         # Same single uniform per row and the same inverse-CDF rule, so
         # accelerated and reference draws coincide for a given state.
-        return kernel(p, rng)
+        try:
+            return kernel(p, rng)
+        except Exception as exc:
+            quarantine_kernel(active_backend(), "batch_categorical", exc)
     cdf = np.cumsum(p, axis=1)
     # rng.random() < 1 strictly, so u < cdf[:, -1] and the index stays
     # in range without clipping.
@@ -368,12 +377,19 @@ def sample_and_gather_neighbor_opinions_batch(
     stream, so it matches the reference in distribution, not bitwise.
     """
     opinions = np.ascontiguousarray(opinions)
-    kernel = active_backend().kernel("csr_sample_gather")
+    kernel = backend_kernel("csr_sample_gather")
     if kernel is not None:
         tables = getattr(graph, "csr_kernel_tables", None)
         if tables is not None:
             indptr, indices = tables()
-            return kernel(indptr, indices, opinions, num_samples, rng, out)
+            try:
+                return kernel(
+                    indptr, indices, opinions, num_samples, rng, out
+                )
+            except Exception as exc:
+                quarantine_kernel(
+                    active_backend(), "csr_sample_gather", exc
+                )
     ids = graph.sample_neighbors_batch(rng, num_samples, opinions.shape[0])
     return gather_neighbor_opinions_batch(opinions, ids, out=out)
 

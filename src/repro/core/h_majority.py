@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backends import active_backend
+from repro.backends import active_backend, backend_kernel, quarantine_kernel
 from repro.core.base import (
     Dynamics,
     iter_row_chunks,
@@ -61,9 +61,14 @@ def majority_winners(
     """
     samples = np.asarray(samples)
     n, h = samples.shape
-    kernel = active_backend().kernel("majority_winners")
+    kernel = backend_kernel("majority_winners")
     if kernel is not None:
-        return kernel(samples, rng)
+        try:
+            return kernel(samples, rng)
+        except Exception as exc:
+            # Degrade to the reference pass below rather than abort the
+            # run; the kernel is quarantined (and warned about) once.
+            quarantine_kernel(active_backend(), "majority_winners", exc)
     # Dtype-widening guard: occurrence counts reach h, so int8 scratch
     # is only safe while h fits int8.  At h > 127 the counts would wrap
     # negative and argmax would silently crown a minority label, so the
@@ -157,12 +162,17 @@ class HMajority(Dynamics):
             # (never produced by the batch engine) take the row loop.
             return super().population_step_batch(counts, rng)
         n = int(totals[0])
-        kernel = active_backend().kernel("hmajority_population_batch")
+        kernel = backend_kernel("hmajority_population_batch")
         if kernel is not None:
             # Fused draw+count+histogram pass: the (rows, n*h) shared
             # sample matrix is never materialised, so there is nothing
             # to chunk and the element budget does not apply.
-            return kernel(counts, self.h, rng)
+            try:
+                return kernel(counts, self.h, rng)
+            except Exception as exc:
+                quarantine_kernel(
+                    active_backend(), "hmajority_population_batch", exc
+                )
         new_counts = np.empty_like(counts)
         for start, stop in iter_row_chunks(
             num_rows, n * self.h, self.batch_element_budget

@@ -145,8 +145,41 @@ class InvariantViolation(ReproError, RuntimeError):
         super().__init__(f"invariant {invariant!r} violated: {message}")
 
 
+class InjectedFaultError(ReproError, RuntimeError):
+    """A deterministic fault scheduled by an armed :class:`FaultPlan` fired.
+
+    Raised by :func:`repro.faults.fault_point` when the active plan
+    schedules an ``error`` (or ``torn-write``) injection at a named
+    fault point.  Carries the ``point`` name and the zero-based
+    occurrence ``index`` at which the rule fired, so a failure seen in a
+    chaos run can be replayed by constructing a plan that targets
+    exactly that occurrence.  Never raised when no plan is armed.
+    """
+
+    def __init__(self, point: str, index: int, kind: str = "error") -> None:
+        self.point = point
+        self.index = index
+        self.kind = kind
+        super().__init__(
+            f"injected {kind} fault at point {point!r} "
+            f"(occurrence #{index})"
+        )
+
+
 class ServiceError(ReproError, RuntimeError):
     """Base class for simulation-service failures (store, fleet, API)."""
+
+
+class StoreBusyError(ServiceError):
+    """The job store's SQLite database is transiently locked.
+
+    The typed, *retryable* translation of ``sqlite3.OperationalError:
+    database is locked``: every :class:`JobStore` transaction maps the
+    raw driver error to this type so callers (the worker fleet, the API
+    layer, ``ServiceClient``) can back off and retry instead of
+    pattern-matching on sqlite3 internals.  The API layer maps it to
+    HTTP 503.
+    """
 
 
 class JobNotFound(ServiceError, LookupError):

@@ -1,0 +1,71 @@
+"""Seeded, deterministic fault injection for the infrastructure layers.
+
+The [GL18] adversary model applied to the machinery instead of the
+protocol: named :class:`FaultPoint`\\ s are woven into the production
+choke points (store transactions, worker execution and heartbeats, HTTP
+request/response handling, the client transport, the sweep cache's
+atomic publication, backend kernel dispatch), and a seeded
+:class:`FaultPlan` schedules crashes, exceptions, delays and torn
+writes by point name and occurrence index through counter-based
+splitmix64 streams — the same construction the numba kernels use — so a
+plan replays bit-identically.
+
+Disarmed (the default), every :func:`fault_point` call is a
+context-variable read and a ``None`` check.  Armed via
+:func:`use_fault_plan` or the ``REPRO_FAULT_PLAN`` environment variable
+(how subprocess workers inherit a plan), the plan decides each
+occurrence deterministically.  :mod:`repro.faults.chaos` builds the
+end-to-end harness (``repro chaos``) on top.
+"""
+
+from repro.faults.registry import (
+    FAULT_KINDS,
+    FaultPoint,
+    available_fault_points,
+    declare_fault_point,
+    get_fault_point,
+    unregister_fault_point,
+)
+from repro.faults.plan import (
+    ERROR_FACTORIES,
+    FAULT_PLAN_ENV_VAR,
+    FaultPlan,
+    FaultRule,
+    active_fault_plan,
+    fault_point,
+    faults_armed,
+    use_fault_plan,
+)
+from repro.faults import points as _points  # noqa: F401  (declares the catalogue)
+from repro.faults.plans import available_plans, builtin_plan
+
+__all__ = [
+    "ERROR_FACTORIES",
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV_VAR",
+    "FaultPlan",
+    "FaultPoint",
+    "FaultRule",
+    "active_fault_plan",
+    "available_fault_points",
+    "available_plans",
+    "builtin_plan",
+    "declare_fault_point",
+    "fault_point",
+    "faults_armed",
+    "get_fault_point",
+    "run_chaos",
+    "unregister_fault_point",
+    "use_fault_plan",
+]
+
+
+def run_chaos(*args, **kwargs):
+    """Lazy proxy for :func:`repro.faults.chaos.run_chaos`.
+
+    Imported lazily because the chaos harness pulls in the full service
+    stack, which production code arming a plan has no need for.
+    """
+    from repro.faults.chaos import run_chaos as _run_chaos
+
+    return _run_chaos(*args, **kwargs)

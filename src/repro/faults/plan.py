@@ -1,0 +1,484 @@
+"""Deterministic fault plans and the ambient activation machinery.
+
+A :class:`FaultPlan` is a seed plus an ordered tuple of
+:class:`FaultRule`\\ s.  Each rule targets one declared fault point and
+decides, *purely from the plan seed, the rule's position and the
+occurrence index*, whether a given execution of that point is faulted.
+The decision stream is counter-based splitmix64 — the same construction
+the numba kernels use for per-row RNG streams — so a plan replays
+bit-identically: same seed, same rules, same occurrence order at a
+point ⇒ same fault schedule, regardless of wall-clock timing, thread
+count or platform.  (What is *not* deterministic under concurrency is
+which thread draws which occurrence index; the chaos assertions are
+therefore written against ledger invariants, not against "job 3 fails
+on attempt 2".)
+
+Activation is ambient, mirroring ``use_backend``/``active_backend`` but
+with two extra layers because fault plans must reach places a
+context-variable cannot: worker threads the fleet started *after* the
+plan was armed, and subprocess pool workers.  Resolution order:
+
+1. the contextvar set by ``use_fault_plan(plan, scope="context")``,
+2. the process-global set by ``use_fault_plan(plan)`` (default scope),
+3. the ``REPRO_FAULT_PLAN`` environment variable holding the plan's
+   JSON (parsed once per distinct value) — how subprocesses inherit.
+
+When none is set, :func:`fault_point` is a dictionary miss and a
+``None`` check — zero overhead on production paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import sqlite3
+import threading
+import time
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, InjectedFaultError
+from repro.faults.registry import FAULT_KINDS, get_fault_point
+
+__all__ = [
+    "ERROR_FACTORIES",
+    "FAULT_PLAN_ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "active_fault_plan",
+    "fault_point",
+    "faults_armed",
+    "use_fault_plan",
+]
+
+#: Environment variable carrying an armed plan's JSON to subprocesses.
+FAULT_PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
+
+_MASK64 = (1 << 64) - 1
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_ROW_GAMMA = 0xBF58476D1CE4E5B9
+
+
+def _splitmix64(state: int) -> int:
+    """One splitmix64 output for ``state`` (same mix as the numba kernels)."""
+    state = (state + _SPLITMIX_GAMMA) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def _point_entropy(name: str) -> int:
+    """Stable 64-bit digest of a point name (platform-independent)."""
+    return int.from_bytes(
+        hashlib.sha256(name.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def _raise_connection_reset() -> None:
+    raise ConnectionResetError(104, "Connection reset by peer (injected)")
+
+
+def _raise_sqlite_busy() -> None:
+    raise sqlite3.OperationalError("database is locked")
+
+
+def _raise_socket_timeout() -> None:
+    raise socket.timeout("timed out (injected)")
+
+
+#: Named exception factories an ``error`` rule may select.  ``injected``
+#: raises the typed :class:`InjectedFaultError`; the others raise the
+#: *raw* exception the real failure mode would produce, so the hardening
+#: under test is the production translation layer, not the injector.
+ERROR_FACTORIES = {
+    "injected": None,  # special-cased: carries point/index context
+    "connection-reset": _raise_connection_reset,
+    "sqlite-busy": _raise_sqlite_busy,
+    "socket-timeout": _raise_socket_timeout,
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduling rule: *at this point, fault these occurrences*.
+
+    ``point``
+        Declared fault-point name the rule targets.
+    ``kind``
+        One of :data:`repro.faults.registry.FAULT_KINDS`; must be
+        supported by the point.
+    ``at``
+        Explicit zero-based occurrence indices to fault (tuple), or
+        ``None`` to decide probabilistically per occurrence.
+    ``probability``
+        Per-occurrence fault probability when ``at`` is ``None``.
+    ``error``
+        Exception-factory name from :data:`ERROR_FACTORIES` (``error``
+        and ``torn-write`` kinds only).
+    ``delay``
+        Sleep duration in seconds (``delay`` kind only).
+    ``max_injections``
+        Stop injecting after this many firings, so probabilistic storms
+        are guaranteed to let retries eventually succeed.
+    """
+
+    point: str
+    kind: str = "error"
+    at: tuple[int, ...] | None = None
+    probability: float = 1.0
+    error: str = "injected"
+    delay: float = 0.01
+    max_injections: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; known kinds: "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.at is not None:
+            at = tuple(int(i) for i in self.at)
+            if any(i < 0 for i in at):
+                raise ConfigurationError(
+                    f"rule for {self.point!r}: occurrence indices must be "
+                    f">= 0, got {self.at!r}"
+                )
+            object.__setattr__(self, "at", at)
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"rule for {self.point!r}: probability must be in [0, 1], "
+                f"got {self.probability!r}"
+            )
+        if self.error not in ERROR_FACTORIES:
+            raise ConfigurationError(
+                f"rule for {self.point!r}: unknown error factory "
+                f"{self.error!r}; known: {', '.join(sorted(ERROR_FACTORIES))}"
+            )
+        if self.delay < 0:
+            raise ConfigurationError(
+                f"rule for {self.point!r}: delay must be >= 0, "
+                f"got {self.delay!r}"
+            )
+        if self.max_injections is not None and self.max_injections < 0:
+            raise ConfigurationError(
+                f"rule for {self.point!r}: max_injections must be >= 0, "
+                f"got {self.max_injections!r}"
+            )
+
+    def to_dict(self) -> dict:
+        payload: dict = {"point": self.point, "kind": self.kind}
+        if self.at is not None:
+            payload["at"] = list(self.at)
+        else:
+            payload["probability"] = self.probability
+        if self.kind in ("error", "torn-write"):
+            payload["error"] = self.error
+        if self.kind == "delay":
+            payload["delay"] = self.delay
+        if self.max_injections is not None:
+            payload["max_injections"] = self.max_injections
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> FaultRule:
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"fault rule must be a mapping, got {type(payload).__name__}"
+            )
+        known = {
+            "point", "kind", "at", "probability", "error", "delay",
+            "max_injections",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"fault rule has unknown keys {sorted(unknown)!r}"
+            )
+        if "point" not in payload:
+            raise ConfigurationError("fault rule is missing 'point'")
+        kwargs = dict(payload)
+        if "at" in kwargs and kwargs["at"] is not None:
+            kwargs["at"] = tuple(kwargs["at"])
+        return cls(**kwargs)
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of faults across declared points.
+
+    Decision purity: :meth:`decision` maps ``(rule, occurrence index)``
+    to fire/skip using only the plan seed — no mutable state — so
+    :meth:`decisions` can preview or replay a schedule offline.  The
+    only mutable state is the per-point occurrence counters and the
+    per-rule injection counts consumed by :meth:`fire`, both guarded by
+    a lock because points fire from many threads at once.
+    """
+
+    def __init__(self, rules, *, seed: int = 0) -> None:
+        rules = tuple(
+            r if isinstance(r, FaultRule) else FaultRule.from_dict(r)
+            for r in rules
+        )
+        for rule in rules:
+            point = get_fault_point(rule.point)  # unknown name raises
+            if rule.kind not in point.kinds:
+                raise ConfigurationError(
+                    f"fault point {rule.point!r} does not support kind "
+                    f"{rule.kind!r} (supported: {', '.join(point.kinds)})"
+                )
+        self.rules = rules
+        self.seed = int(seed)
+        self._by_point: dict[str, list[tuple[int, FaultRule]]] = {}
+        for index, rule in enumerate(rules):
+            self._by_point.setdefault(rule.point, []).append((index, rule))
+        self._lock = threading.Lock()
+        self._occurrences: dict[str, int] = {}
+        self._injected: dict[int, int] = {}
+
+    # -- pure decision layer ------------------------------------------------
+
+    def _draw(self, rule_index: int, point: str, occurrence: int) -> float:
+        """Uniform in [0, 1) for one (rule, occurrence) cell."""
+        base = _splitmix64((self.seed & _MASK64) ^ _point_entropy(point))
+        base = _splitmix64(base + rule_index)
+        return _splitmix64((base + occurrence * _ROW_GAMMA) & _MASK64) / 2**64
+
+    def decision(self, name: str, occurrence: int) -> FaultRule | None:
+        """The rule (if any) scheduled to fire at this occurrence.
+
+        Pure function of the plan seed — ignores ``max_injections``
+        budgets, which by construction depend on execution history.
+        The first matching rule in plan order wins.
+        """
+        for rule_index, rule in self._by_point.get(name, ()):
+            if rule.at is not None:
+                if occurrence in rule.at:
+                    return rule
+            elif self._draw(rule_index, name, occurrence) < rule.probability:
+                return rule
+        return None
+
+    def decisions(self, name: str, count: int) -> list[str | None]:
+        """Preview the first ``count`` scheduled kinds at point ``name``.
+
+        The offline replay view: two plans with the same seed and rules
+        return identical lists on every platform.
+        """
+        return [
+            None if rule is None else rule.kind
+            for rule in (self.decision(name, i) for i in range(count))
+        ]
+
+    # -- execution layer ----------------------------------------------------
+
+    def fire(self, name: str, context: Mapping) -> None:
+        """Consume one occurrence of point ``name`` and act on it."""
+        get_fault_point(name)
+        with self._lock:
+            occurrence = self._occurrences.get(name, 0)
+            self._occurrences[name] = occurrence + 1
+            rule = self.decision(name, occurrence)
+            if rule is not None and rule.max_injections is not None:
+                rule_key = id(rule)
+                if self._injected.get(rule_key, 0) >= rule.max_injections:
+                    rule = None
+                else:
+                    self._injected[rule_key] = (
+                        self._injected.get(rule_key, 0) + 1
+                    )
+            elif rule is not None:
+                self._injected[id(rule)] = self._injected.get(id(rule), 0) + 1
+        if rule is None:
+            return
+        self._execute(rule, name, occurrence, context)
+
+    def _execute(
+        self, rule: FaultRule, name: str, occurrence: int, context: Mapping
+    ) -> None:
+        if rule.kind == "delay":
+            time.sleep(rule.delay)
+            return
+        if rule.kind == "crash":
+            # The simulated kill -9: no cleanup, no atexit, no flush.
+            os._exit(70)
+        if rule.kind == "torn-write":
+            path = context.get("path")
+            payload = context.get("payload")
+            if path is not None and payload is not None:
+                data = payload if isinstance(payload, bytes) else str(
+                    payload
+                ).encode("utf-8")
+                with open(path, "wb") as handle:
+                    handle.write(data[: max(1, len(data) // 2)])
+            raise InjectedFaultError(name, occurrence, "torn-write")
+        factory = ERROR_FACTORIES[rule.error]
+        if factory is None:
+            raise InjectedFaultError(name, occurrence)
+        factory()
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def occurrences(self) -> dict[str, int]:
+        """Occurrence counts consumed so far, per point name."""
+        with self._lock:
+            return dict(self._occurrences)
+
+    def reset(self) -> None:
+        """Forget consumed occurrences so the plan replays from zero."""
+        with self._lock:
+            self._occurrences.clear()
+            self._injected.clear()
+
+    def summary(self) -> dict:
+        """Compact description for health payloads and reports."""
+        return {
+            "seed": self.seed,
+            "rules": len(self.rules),
+            "points": sorted(self._by_point),
+        }
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "rules": [rule.to_dict() for rule in self.rules],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> FaultPlan:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"fault plan is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, Mapping) or "rules" not in payload:
+            raise ConfigurationError(
+                "fault plan JSON must be an object with a 'rules' array"
+            )
+        return cls(payload["rules"], seed=int(payload.get("seed", 0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(seed={self.seed}, rules={len(self.rules)}, "
+            f"points={sorted(self._by_point)})"
+        )
+
+
+# -- ambient activation -----------------------------------------------------
+
+_ACTIVE: ContextVar[FaultPlan | None] = ContextVar(
+    "repro_fault_plan", default=None
+)
+_PROCESS_PLAN: FaultPlan | None = None
+
+# Parsed-plan cache keyed by the env var's raw value, so hot paths in
+# subprocess workers parse the JSON once, not per fault_point() call.
+_ENV_CACHE: dict[str, FaultPlan] = {}
+
+
+def _plan_from_env() -> FaultPlan | None:
+    raw = os.environ.get(FAULT_PLAN_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    plan = _ENV_CACHE.get(raw)
+    if plan is None:
+        # A pinned env var must work or fail loudly, mirroring
+        # REPRO_BACKEND: silently ignoring a typo'd plan would run the
+        # chaos suite fault-free and green.
+        plan = FaultPlan.from_json(raw)
+        _ENV_CACHE[raw] = plan
+    return plan
+
+
+def active_fault_plan() -> FaultPlan | None:
+    """The armed plan, or ``None`` (contextvar > process > env)."""
+    plan = _ACTIVE.get()
+    if plan is not None:
+        return plan
+    if _PROCESS_PLAN is not None:
+        return _PROCESS_PLAN
+    return _plan_from_env()
+
+
+def faults_armed() -> bool:
+    """``True`` iff any plan is currently armed in this process."""
+    return active_fault_plan() is not None
+
+
+def fault_point(name: str, **context) -> None:
+    """Consume one occurrence of fault point ``name``.
+
+    The single call-site API: when no plan is armed this is a
+    context-variable read and two ``None`` checks; when armed, the plan
+    decides deterministically whether this occurrence faults.
+    """
+    plan = active_fault_plan()
+    if plan is None:
+        return
+    plan.fire(name, context)
+
+
+@contextmanager
+def use_fault_plan(
+    plan: FaultPlan | str | None,
+    *,
+    scope: str = "process",
+    export_env: bool = False,
+) -> Iterator[FaultPlan | None]:
+    """Arm ``plan`` for the enclosed block.
+
+    ``scope="process"`` (default) arms it process-globally so worker
+    threads started at any time see it — what the chaos harness needs.
+    ``scope="context"`` confines it to the current context (and tasks
+    forked from it), the right scope for targeted unit tests running
+    alongside other threads.  ``export_env=True`` additionally writes
+    the plan JSON to :data:`FAULT_PLAN_ENV_VAR` so subprocesses
+    (sweep pool workers, ``repro serve`` children) inherit it.
+    ``plan=None`` disarms within the block (masking any outer plan).
+    """
+    global _PROCESS_PLAN
+    if isinstance(plan, str):
+        plan = FaultPlan.from_json(plan)
+    if scope not in ("process", "context"):
+        raise ConfigurationError(
+            f"fault plan scope must be 'process' or 'context', got {scope!r}"
+        )
+    token = None
+    previous = _PROCESS_PLAN
+    if scope == "context":
+        token = _ACTIVE.set(plan)
+    else:
+        _PROCESS_PLAN = plan
+        if plan is None:
+            # Masking an outer plan process-wide also needs the
+            # contextvar cleared in this context, or resolution order
+            # would resurrect a scope="context" plan; env masking is
+            # handled below.
+            token = _ACTIVE.set(None)
+    saved_env = os.environ.get(FAULT_PLAN_ENV_VAR)
+    if export_env or (plan is None and scope == "process"):
+        if plan is None:
+            os.environ.pop(FAULT_PLAN_ENV_VAR, None)
+        else:
+            os.environ[FAULT_PLAN_ENV_VAR] = plan.to_json()
+    try:
+        yield plan
+    finally:
+        if token is not None:
+            _ACTIVE.reset(token)
+        if scope == "process":
+            _PROCESS_PLAN = previous
+        if export_env or (plan is None and scope == "process"):
+            if saved_env is None:
+                os.environ.pop(FAULT_PLAN_ENV_VAR, None)
+            else:
+                os.environ[FAULT_PLAN_ENV_VAR] = saved_env

@@ -1,0 +1,174 @@
+"""Named builtin fault plans for the chaos harness and CI.
+
+Each builder takes a seed and returns a fresh :class:`FaultPlan`; the
+names are what ``repro chaos --plan <name>`` and the CI ``chaos`` job
+use, so a CI failure reproduces locally from the plan name + seed alone.
+Probabilistic rules carry ``max_injections`` budgets sized so that
+bounded retry policies always converge — except where a plan's *point*
+is to exhaust retries (``worker-crash-storm``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, FaultRule
+
+__all__ = ["available_plans", "builtin_plan"]
+
+
+def _worker_crash(seed: int) -> FaultPlan:
+    """Job executions fail ~half the time: jobs finish done or dead."""
+    return FaultPlan(
+        [FaultRule("worker.job-execute", kind="error", probability=0.5)],
+        seed=seed,
+    )
+
+
+def _worker_crash_storm(seed: int) -> FaultPlan:
+    """Every job execution fails: all jobs must land in ``dead``."""
+    return FaultPlan(
+        [FaultRule("worker.job-execute", kind="error", probability=1.0)],
+        seed=seed,
+    )
+
+
+def _torn_cache_write(seed: int) -> FaultPlan:
+    """Torn writes at the cache publication boundary (bounded)."""
+    return FaultPlan(
+        [
+            FaultRule(
+                "sweep.cache-write",
+                kind="torn-write",
+                probability=0.3,
+                max_injections=6,
+            ),
+            FaultRule(
+                "sweep.cache-write",
+                kind="error",
+                probability=0.1,
+                max_injections=3,
+            ),
+        ],
+        seed=seed,
+    )
+
+
+def _flaky_transport(seed: int) -> FaultPlan:
+    """Connection resets on both sides of the HTTP transport (bounded)."""
+    return FaultPlan(
+        [
+            FaultRule(
+                "client.request",
+                kind="error",
+                error="connection-reset",
+                probability=0.25,
+                max_injections=20,
+            ),
+            FaultRule(
+                "server.request",
+                kind="error",
+                error="connection-reset",
+                probability=0.1,
+                max_injections=10,
+            ),
+            FaultRule(
+                "server.response",
+                kind="error",
+                error="connection-reset",
+                probability=0.15,
+                max_injections=10,
+            ),
+        ],
+        seed=seed,
+    )
+
+
+def _sqlite_busy(seed: int) -> FaultPlan:
+    """'database is locked' storms on the job store (bounded)."""
+    return FaultPlan(
+        [
+            FaultRule(
+                "store.transaction",
+                kind="error",
+                error="sqlite-busy",
+                probability=0.2,
+                max_injections=30,
+            )
+        ],
+        seed=seed,
+    )
+
+
+def _heartbeat_drop(seed: int) -> FaultPlan:
+    """Every heartbeat is dropped: drives orphan detection/requeue."""
+    return FaultPlan(
+        [FaultRule("worker.heartbeat", kind="error", probability=1.0)],
+        seed=seed,
+    )
+
+
+def _mixed(seed: int) -> FaultPlan:
+    """A bit of everything, all budgets bounded so jobs converge."""
+    return FaultPlan(
+        [
+            FaultRule(
+                "worker.job-execute",
+                kind="error",
+                probability=0.25,
+                max_injections=6,
+            ),
+            FaultRule(
+                "sweep.cache-write",
+                kind="torn-write",
+                probability=0.15,
+                max_injections=4,
+            ),
+            FaultRule(
+                "client.request",
+                kind="error",
+                error="connection-reset",
+                probability=0.15,
+                max_injections=12,
+            ),
+            FaultRule(
+                "store.transaction",
+                kind="error",
+                error="sqlite-busy",
+                probability=0.1,
+                max_injections=12,
+            ),
+            FaultRule("worker.heartbeat", kind="delay", delay=0.02,
+                      probability=0.2, max_injections=10),
+        ],
+        seed=seed,
+    )
+
+
+_BUILTIN: dict[str, Callable[[int], FaultPlan]] = {
+    "worker-crash": _worker_crash,
+    "worker-crash-storm": _worker_crash_storm,
+    "torn-cache-write": _torn_cache_write,
+    "flaky-transport": _flaky_transport,
+    "sqlite-busy": _sqlite_busy,
+    "heartbeat-drop": _heartbeat_drop,
+    "mixed": _mixed,
+}
+
+
+def available_plans() -> list[str]:
+    """Sorted names of the builtin chaos plans."""
+    return sorted(_BUILTIN)
+
+
+def builtin_plan(name: str, *, seed: int = 0) -> FaultPlan:
+    """Build the named plan with ``seed``; unknown names raise."""
+    try:
+        builder = _BUILTIN[name]
+    except KeyError:
+        known = ", ".join(available_plans())
+        raise ConfigurationError(
+            f"unknown chaos plan {name!r}; builtin plans: {known}"
+        ) from None
+    return builder(seed)

@@ -1,0 +1,79 @@
+"""The catalogue of declared fault points.
+
+One declaration per armed call site in the production code.  The
+*registry-completeness* lint rule keeps this file honest in both
+directions: every name declared here must have at least one armed
+``fault_point("<name>")`` call under ``src/``, and every armed call must
+reference a name declared here.
+"""
+
+from __future__ import annotations
+
+from repro.faults.registry import FaultPoint, declare_fault_point
+
+__all__ = ["DECLARED_FAULT_POINTS"]
+
+DECLARED_FAULT_POINTS = tuple(
+    declare_fault_point(point)
+    for point in (
+        FaultPoint(
+            "store.transaction",
+            "Start of every JobStore SQLite transaction — simulates "
+            "'database is locked' busy storms and slow commits.",
+            kinds=("error", "delay"),
+            context_keys=("operation",),
+        ),
+        FaultPoint(
+            "worker.job-execute",
+            "WorkerFleet just before running a leased job — simulates "
+            "runner exceptions, hangs and hard worker crashes.",
+            kinds=("error", "delay", "crash"),
+            context_keys=("job_id", "attempt"),
+        ),
+        FaultPoint(
+            "worker.heartbeat",
+            "WorkerFleet heartbeat recording — simulates dropped "
+            "heartbeats so orphan detection and requeue can be driven.",
+            kinds=("error", "delay"),
+            context_keys=("job_id",),
+        ),
+        FaultPoint(
+            "server.request",
+            "HTTP server before routing a request — simulates a "
+            "connection dropped before the handler ran.",
+            kinds=("error", "delay"),
+            context_keys=("path",),
+        ),
+        FaultPoint(
+            "server.response",
+            "HTTP server after handling, before sending the response — "
+            "simulates a response lost on the wire (the client must "
+            "retry; idempotency keys keep the retry safe).",
+            kinds=("error", "delay"),
+            context_keys=("path",),
+        ),
+        FaultPoint(
+            "client.request",
+            "ServiceClient before each HTTP attempt — simulates flaky "
+            "client-side transport (resets, timeouts).",
+            kinds=("error", "delay"),
+            context_keys=("method", "path"),
+        ),
+        FaultPoint(
+            "sweep.cache-write",
+            "Sweep cache between temp-file write and atomic rename — "
+            "simulates crashes and torn writes at the publication "
+            "boundary the provenance chain certifies.",
+            kinds=("error", "delay", "crash", "torn-write"),
+            context_keys=("path", "payload"),
+        ),
+        FaultPoint(
+            "backend.kernel",
+            "Accelerated-kernel dispatch just before invoking a "
+            "backend kernel — simulates a JIT kernel dying mid-batch "
+            "so graceful degradation to the reference path is provable.",
+            kinds=("error", "delay"),
+            context_keys=("kernel", "backend"),
+        ),
+    )
+)

@@ -15,10 +15,15 @@ is untested compiled code.  Four sub-checks:
 * every concrete ``*Backend`` class (Protocol definitions exempt) is
   passed to a ``register_backend`` call somewhere in the tree;
 * every name in ``numba_kernels.py``'s ``KERNEL_NAMES`` is requested
-  by some ``.kernel("<name>")`` dispatch site;
+  by some ``.kernel("<name>")`` or ``backend_kernel("<name>")``
+  dispatch site;
 * every concrete ``*Invariant`` class in ``invariants/`` (Protocol
   definitions exempt) is passed to a ``register_invariant`` call, so
-  the cross-engine harness can never silently drop a check.
+  the cross-engine harness can never silently drop a check;
+* every fault point declared in ``faults/points.py`` has at least one
+  armed ``fault_point("<name>")`` call site in the tree, and every
+  armed call names a declared point — so the chaos catalogue can
+  neither rot (dead declarations) nor drift (undeclared injections).
 """
 
 from __future__ import annotations
@@ -77,9 +82,10 @@ def _module_classes(file: SourceFile) -> list[ast.ClassDef]:
 class RegistryCompletenessRule:
     name = "registry-completeness"
     description = (
-        "every Dynamics subclass, engine class, backend class, and "
-        "invariant class must be registered, and every exported numba "
-        "kernel name must have a requesting .kernel() dispatch site"
+        "every Dynamics subclass, engine class, backend class, "
+        "invariant class and declared fault point must be registered/"
+        "armed, and every exported numba kernel name must have a "
+        "requesting dispatch site"
     )
     severity = "error"
 
@@ -89,6 +95,7 @@ class RegistryCompletenessRule:
         yield from self._check_backends(context)
         yield from self._check_kernels(context)
         yield from self._check_invariants(context)
+        yield from self._check_fault_points(context)
 
     # -- dynamics ------------------------------------------------------
     def _check_dynamics(self, context: LintContext) -> Iterator[Diagnostic]:
@@ -230,9 +237,20 @@ class RegistryCompletenessRule:
         }
         requested: set[str] = set()
         for file in context.files:
+            # Direct dispatch: backend.kernel("<name>").
             for call in _calls_to(file.tree, "kernel"):
                 if (
                     isinstance(call.func, ast.Attribute)
+                    and call.args
+                    and isinstance(call.args[0], ast.Constant)
+                    and isinstance(call.args[0].value, str)
+                ):
+                    requested.add(call.args[0].value)
+            # Quarantine-aware dispatch: backend_kernel("<name>")
+            # resolves the active backend and the fault wrapper itself.
+            for call in _calls_to(file.tree, "backend_kernel"):
+                if (
+                    isinstance(call.func, ast.Name)
                     and call.args
                     and isinstance(call.args[0], ast.Constant)
                     and isinstance(call.args[0].value, str)
@@ -246,6 +264,59 @@ class RegistryCompletenessRule:
                 message=(
                     f"kernel {name!r} is exported by KERNEL_NAMES but no "
                     f'dispatch site requests it via .kernel("{name}")'
+                ),
+            )
+
+
+    # -- fault points --------------------------------------------------
+    def _check_fault_points(
+        self, context: LintContext
+    ) -> Iterator[Diagnostic]:
+        catalogue = context.find("faults/points.py")
+        if catalogue is None:
+            return
+        declared: dict[str, int] = {}
+        for call in _calls_to(catalogue.tree, "FaultPoint"):
+            if (
+                call.args
+                and isinstance(call.args[0], ast.Constant)
+                and isinstance(call.args[0].value, str)
+            ):
+                declared[call.args[0].value] = call.lineno
+        armed: dict[str, tuple[str, int]] = {}
+        for file in context.files:
+            if file is catalogue:
+                continue
+            for call in _calls_to(file.tree, "fault_point"):
+                if (
+                    call.args
+                    and isinstance(call.args[0], ast.Constant)
+                    and isinstance(call.args[0].value, str)
+                ):
+                    armed.setdefault(
+                        call.args[0].value, (file.relative, call.lineno)
+                    )
+        for name in sorted(set(declared) - set(armed)):
+            yield Diagnostic(
+                path=catalogue.relative,
+                line=declared[name],
+                rule=self.name,
+                message=(
+                    f"fault point {name!r} is declared but no armed "
+                    f'fault_point("{name}") call site exists; chaos '
+                    "plans naming it can never fire"
+                ),
+            )
+        for name in sorted(set(armed) - set(declared)):
+            path, line = armed[name]
+            yield Diagnostic(
+                path=path,
+                line=line,
+                rule=self.name,
+                message=(
+                    f"fault_point call names undeclared point "
+                    f"{name!r}; declare it in faults/points.py so "
+                    "plans validate against the catalogue"
                 ),
             )
 

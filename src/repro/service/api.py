@@ -1,25 +1,33 @@
 """HTTP surface of the simulation service (stdlib ``http.server``).
 
-JSON in, JSON out, five routes::
+JSON in, JSON out, seven routes::
 
-    POST   /jobs               submit a sweep job
-    GET    /jobs/<id>          job status (state, progress, attempts)
-    GET    /jobs/<id>/result   result document of a finished job
-    DELETE /jobs/<id>          cancel a queued job
-    GET    /healthz            queue depth + worker liveness
+    POST   /jobs                 submit a sweep job (Idempotency-Key aware)
+    GET    /jobs                 list jobs (?state=...&client=...)
+    GET    /jobs/<id>            job status (state, progress, attempts)
+    GET    /jobs/<id>/result     result document of a finished job
+    POST   /jobs/<id>/requeue    return a dead job to the queue
+    DELETE /jobs/<id>            cancel a queued job
+    GET    /healthz              queue depth + worker liveness
 
 Error mapping is uniform: bad specs are 400, unknown jobs 404,
 operations illegal in the job's current state 409, quota rejections
-429 — each with a JSON body ``{"error": ..., "type": ...}`` carrying
-the exception's message so clients can show a real reason, not a
-status code.  The handler is deliberately a thin adapter: every
-decision lives in the scheduler/store/fleet, which the test-suite
-exercises directly; the HTTP layer adds only parsing and status codes.
+429, transient store contention 503 — each with a JSON body
+``{"error": ..., "type": ...}`` carrying the exception's message so
+clients can show a real reason, not a status code.  Submissions may
+carry an ``Idempotency-Key`` header: a repeat of an already-admitted
+key returns the original job with a 200 instead of enqueuing a
+duplicate, which is what makes client-side submit retries safe.  The
+handler is deliberately a thin adapter: every decision lives in the
+scheduler/store/fleet, which the test-suite exercises directly; the
+HTTP layer adds only parsing and status codes.
 """
 
 from __future__ import annotations
 
 import json
+import sys
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import (
@@ -27,8 +35,10 @@ from repro.errors import (
     InvalidJobState,
     JobNotFound,
     QuotaExceededError,
+    StoreBusyError,
 )
-from repro.service.jobs import JobSpec
+from repro.faults import fault_point
+from repro.service.jobs import JOB_STATES, JobSpec
 
 __all__ = ["ServiceHTTPServer", "make_handler"]
 
@@ -47,6 +57,15 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, handler, service) -> None:
         self.service = service
         super().__init__(address, handler)
+
+    def handle_error(self, request, client_address) -> None:
+        # Dropped connections — real impatient clients or injected
+        # ``server.request``/``server.response`` resets — are expected
+        # operational noise, not a server bug worth a stderr traceback.
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionResetError, BrokenPipeError)):
+            return
+        super().handle_error(request, client_address)
 
 
 def make_handler(service) -> type[BaseHTTPRequestHandler]:
@@ -72,10 +91,23 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
         def do_DELETE(self) -> None:
             self._dispatch(self._delete)
 
+        def _split_path(self) -> tuple[str, dict]:
+            parsed = urllib.parse.urlsplit(self.path)
+            query = {
+                key: values[-1]
+                for key, values in urllib.parse.parse_qs(
+                    parsed.query
+                ).items()
+            }
+            return parsed.path, query
+
         def _get(self) -> tuple[int, dict]:
-            if self.path == "/healthz":
+            path, query = self._split_path()
+            if path == "/healthz":
                 return 200, service.health_payload()
-            job_id, tail = self._job_path()
+            if path in ("/jobs", "/jobs/"):
+                return 200, self._list_jobs(query)
+            job_id, tail = self._job_path(path)
             if tail == "":
                 return 200, service.store.get(job_id).status_payload()
             if tail == "result":
@@ -83,8 +115,16 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
             raise _NotFound(self.path)
 
         def _post(self) -> tuple[int, dict]:
-            if self.path != "/jobs":
-                raise _NotFound(self.path)
+            path, _query = self._split_path()
+            if path == "/jobs":
+                return self._submit()
+            job_id, tail = self._job_path(path)
+            if tail == "requeue":
+                job = service.store.requeue_dead(job_id)
+                return 200, job.status_payload()
+            raise _NotFound(self.path)
+
+        def _submit(self) -> tuple[int, dict]:
             payload = self._read_json()
             spec = JobSpec.from_mapping(payload.get("spec"))
             client = payload.get("client")
@@ -97,18 +137,40 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
                 raise ConfigurationError(
                     f"priority must be an integer, got {priority!r}"
                 )
-            job = service.scheduler.admit(
-                spec, client=client, priority=priority
+            idempotency_key = self.headers.get("Idempotency-Key")
+            job, created = service.scheduler.admit_idempotent(
+                spec,
+                client=client,
+                priority=priority,
+                idempotency_key=idempotency_key or None,
             )
-            return 201, job.status_payload()
+            return (201 if created else 200), job.status_payload()
 
         def _delete(self) -> tuple[int, dict]:
-            job_id, tail = self._job_path()
+            path, _query = self._split_path()
+            job_id, tail = self._job_path(path)
             if tail != "":
                 raise _NotFound(self.path)
             return 200, service.store.cancel(job_id).status_payload()
 
         # -- helpers -------------------------------------------------
+
+        def _list_jobs(self, query: dict) -> dict:
+            unknown = set(query) - {"state", "client"}
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown job-listing filters: {sorted(unknown)}"
+                )
+            state = query.get("state")
+            if state is not None and state not in JOB_STATES:
+                raise ConfigurationError(
+                    f"unknown job state {state!r}; states: "
+                    f"{', '.join(JOB_STATES)}"
+                )
+            jobs = service.store.jobs(
+                state=state, client=query.get("client")
+            )
+            return {"jobs": [job.status_payload() for job in jobs]}
 
         def _result(self, job_id: str) -> dict:
             job = service.store.get(job_id)
@@ -122,8 +184,8 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
                 "points": job.result,
             }
 
-        def _job_path(self) -> tuple[str, str]:
-            parts = self.path.strip("/").split("/")
+        def _job_path(self, path: str) -> tuple[str, str]:
+            parts = path.strip("/").split("/")
             if len(parts) < 2 or parts[0] != "jobs" or not parts[1]:
                 raise _NotFound(self.path)
             return parts[1], "/".join(parts[2:])
@@ -150,7 +212,19 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
 
         def _dispatch(self, method) -> None:
             try:
+                fault_point("server.request", path=self.path)
                 status, body = method()
+                # Fires after the handler committed its effects but
+                # before any byte of the response is written — the
+                # lost-response window that makes idempotency keys
+                # necessary.
+                fault_point("server.response", path=self.path)
+            except ConnectionResetError:
+                # Simulated (or real) transport drop: closing the
+                # socket without a response is exactly what a dying
+                # server does.  The client's retry layer owns recovery.
+                self.close_connection = True
+                raise
             except (_NotFound, JobNotFound) as exc:
                 self._send(404, _error_body(exc))
             except QuotaExceededError as exc:
@@ -159,6 +233,8 @@ def make_handler(service) -> type[BaseHTTPRequestHandler]:
                 self._send(409, _error_body(exc))
             except ConfigurationError as exc:
                 self._send(400, _error_body(exc))
+            except StoreBusyError as exc:
+                self._send(503, _error_body(exc))
             except Exception as exc:  # pragma: no cover - last resort
                 self._send(500, _error_body(exc))
             else:

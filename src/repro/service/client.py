@@ -7,11 +7,22 @@ a quota rejection raises :class:`~repro.errors.QuotaExceededError`, an
 unknown job :class:`~repro.errors.JobNotFound`, a result requested too
 early :class:`~repro.errors.InvalidJobState` — the same types the
 in-process scheduler and store raise.
+
+Transport robustness: requests that are safe to repeat — every GET,
+plus submits, which carry an ``Idempotency-Key`` the server
+deduplicates on — retry transient transport failures (connection
+refused/reset, timeouts, HTTP 503 store-busy) with jittered exponential
+backoff.  The jitter stream is seeded from the client id, so a fleet of
+identically-configured clients decorrelates instead of retrying in
+lockstep, while any single client's schedule stays reproducible.
 """
 
 from __future__ import annotations
 
+import hashlib
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -22,7 +33,9 @@ from repro.errors import (
     JobNotFound,
     QuotaExceededError,
     ServiceError,
+    StoreBusyError,
 )
+from repro.faults import fault_point
 from repro.service.jobs import JobSpec
 
 __all__ = ["ServiceClient"]
@@ -32,6 +45,7 @@ _ERROR_TYPES: dict[str, type[Exception]] = {
     "QuotaExceededError": QuotaExceededError,
     "InvalidJobState": InvalidJobState,
     "JobNotFound": JobNotFound,
+    "StoreBusyError": StoreBusyError,
 }
 
 
@@ -44,10 +58,19 @@ class ServiceClient:
         *,
         client_id: str = "default",
         timeout: float = 30.0,
+        max_retries: int = 4,
+        retry_base: float = 0.05,
+        retry_cap: float = 1.0,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.client_id = client_id
         self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.retry_base = float(retry_base)
+        self.retry_cap = float(retry_cap)
+        # Seeded per client id: deterministic for one client,
+        # decorrelated across a fleet.
+        self._rng = random.Random(f"repro-client:{client_id}")
 
     # -- protocol verbs ----------------------------------------------
 
@@ -58,15 +81,34 @@ class ServiceClient:
         priority: int = 0,
         client_id: str | None = None,
     ) -> str:
-        """Submit a sweep job; returns the new job's id."""
+        """Submit a sweep job; returns the new job's id.
+
+        Retry-safe: the request carries an ``Idempotency-Key`` derived
+        from the spec digest plus a per-call nonce, so a retried submit
+        whose first attempt *did* land (response lost on the wire)
+        returns the already-created job instead of enqueuing a
+        duplicate.  Distinct calls get distinct nonces — deliberately
+        resubmitting the same work still creates a new job.
+        """
         if isinstance(spec, JobSpec):
             spec = json.loads(spec.canonical_json())
+        digest = hashlib.sha256(
+            json.dumps(spec, sort_keys=True).encode()
+        ).hexdigest()[:16]
+        nonce = self._rng.getrandbits(64)
+        key = f"{client_id or self.client_id}:{digest}:{nonce:016x}"
         payload = {
             "client": client_id or self.client_id,
             "priority": priority,
             "spec": spec,
         }
-        return self._request("POST", "/jobs", payload)["id"]
+        return self._request(
+            "POST",
+            "/jobs",
+            payload,
+            headers={"Idempotency-Key": key},
+            retry=True,
+        )["id"]
 
     def status(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")
@@ -78,6 +120,22 @@ class ServiceClient:
     def cancel(self, job_id: str) -> dict:
         return self._request("DELETE", f"/jobs/{job_id}")
 
+    def requeue(self, job_id: str) -> dict:
+        """Return a ``dead`` job to the queue with a fresh retry budget."""
+        return self._request("POST", f"/jobs/{job_id}/requeue")
+
+    def jobs(
+        self, *, state: str | None = None, client_id: str | None = None
+    ) -> list[dict]:
+        """List jobs on the service, optionally filtered."""
+        filters = []
+        if state is not None:
+            filters.append(f"state={state}")
+        if client_id is not None:
+            filters.append(f"client={client_id}")
+        query = f"?{'&'.join(filters)}" if filters else ""
+        return self._request("GET", f"/jobs{query}")["jobs"]
+
     def health(self) -> dict:
         return self._request("GET", "/healthz")
 
@@ -87,19 +145,26 @@ class ServiceClient:
         *,
         timeout: float = 60.0,
         poll_interval: float = 0.05,
+        poll_cap: float = 1.0,
     ) -> dict:
         """Poll until the job leaves the queue/worker, return its result.
 
-        Raises :class:`ServiceError` if the job fails or is cancelled,
-        :class:`TimeoutError` if it is still unfinished at ``timeout``.
+        The poll interval starts at ``poll_interval`` and grows
+        geometrically to ``poll_cap`` with per-sleep jitter, so a fleet
+        of waiting clients neither hammers a busy server in lockstep
+        nor oversleeps a fast job.  Raises :class:`ServiceError` if the
+        job settles without a result (``failed``/``cancelled``/
+        ``dead``), :class:`TimeoutError` if it is still unfinished at
+        ``timeout``.
         """
         deadline = time.monotonic() + timeout
+        interval = poll_interval
         while True:
             status = self.status(job_id)
             state = status["state"]
             if state == "done":
                 return self.result(job_id)
-            if state in ("failed", "cancelled"):
+            if state in ("failed", "cancelled", "dead"):
                 raise ServiceError(
                     f"job {job_id} ended {state}: {status.get('error')}"
                 )
@@ -107,34 +172,77 @@ class ServiceClient:
                 raise TimeoutError(
                     f"job {job_id} still {state} after {timeout:g}s"
                 )
-            time.sleep(poll_interval)
+            time.sleep(
+                min(interval, poll_cap) * (0.5 + self._rng.random())
+            )
+            interval = min(interval * 1.7, poll_cap)
 
     # -- transport ---------------------------------------------------
 
+    def _backoff(self, attempt: int) -> float:
+        """Jittered exponential delay before retry ``attempt``."""
+        return min(
+            self.retry_base * (2**attempt), self.retry_cap
+        ) * (0.5 + self._rng.random())
+
     def _request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        headers: dict | None = None,
+        retry: bool | None = None,
     ) -> dict:
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            method=method,
-            data=(
-                json.dumps(payload).encode()
-                if payload is not None
-                else None
-            ),
-            headers={"Content-Type": "application/json"},
+        retryable = (method == "GET") if retry is None else retry
+        data = (
+            json.dumps(payload).encode() if payload is not None else None
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                return json.loads(response.read() or b"{}")
-        except urllib.error.HTTPError as exc:
-            raise _mapped_error(exc) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {exc.reason}"
-            ) from exc
+        request_headers = {"Content-Type": "application/json"}
+        if headers:
+            request_headers.update(headers)
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                f"{self.base_url}{path}",
+                method=method,
+                data=data,
+                headers=request_headers,
+            )
+            try:
+                fault_point("client.request", method=method, path=path)
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return json.loads(response.read() or b"{}")
+            except urllib.error.HTTPError as exc:
+                error = _mapped_error(exc)
+                if (
+                    retryable
+                    and isinstance(error, StoreBusyError)
+                    and attempt < self.max_retries
+                ):
+                    time.sleep(self._backoff(attempt))
+                    attempt += 1
+                    continue
+                raise error from None
+            except (
+                urllib.error.URLError,
+                http.client.HTTPException,
+                OSError,
+            ) as exc:
+                # HTTPError (handled above) subclasses URLError, so
+                # only genuine transport failures land here: refused or
+                # reset connections, timeouts, torn HTTP framing.
+                if retryable and attempt < self.max_retries:
+                    time.sleep(self._backoff(attempt))
+                    attempt += 1
+                    continue
+                reason = getattr(exc, "reason", exc)
+                raise ServiceError(
+                    f"cannot reach service at {self.base_url} "
+                    f"(after {attempt + 1} attempt(s)): {reason}"
+                ) from exc
 
 
 def _mapped_error(exc: urllib.error.HTTPError) -> Exception:

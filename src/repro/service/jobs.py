@@ -12,12 +12,19 @@ cache accounting even though every submission gets its own job id).
 Lifecycle::
 
     queued ──lease──> running ──complete──> done
-       │                 │└──fail(permanent / retries exhausted)──> failed
-       │                 └──fail(transient)──> queued   (retry w/ backoff)
-       └──cancel──> cancelled
+       │                 │├──fail(permanent)──> failed
+       │                 │├──fail(transient, retries left)──> queued  (backoff)
+       │                 │└──fail(transient, retries exhausted)──> dead
+       │                                                            │
+       └──cancel──> cancelled              queued <──requeue(reset)──┘
 
 ``running`` jobs found in the store at service startup are orphans from
 a crashed or killed server; they are re-queued, never silently lost.
+``failed`` means the job itself is hopeless (bad spec — resubmitting
+the same work would fail again); ``dead`` means the *infrastructure*
+gave up (transient faults outlasted the retry budget) and the job is
+eligible for ``requeue`` once the turbulence passes — attempts reset,
+the sweep cache still remembers any finished points.
 """
 
 from __future__ import annotations
@@ -36,16 +43,21 @@ __all__ = [
     "JOB_STATES",
     "ACTIVE_STATES",
     "TERMINAL_STATES",
+    "SETTLED_STATES",
 ]
 
 #: Every legal job state.
-JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "dead")
 
 #: States that count against a client's queued-work quota.
 ACTIVE_STATES = ("queued", "running")
 
-#: States a job can never leave.
+#: States a job can never leave on its own.  ``dead`` is *settled* but
+#: not terminal: an explicit ``requeue`` returns it to the queue.
 TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: States in which a job is no longer making progress (terminal ∪ dead).
+SETTLED_STATES = TERMINAL_STATES + ("dead",)
 
 
 @dataclass(frozen=True)

@@ -98,15 +98,47 @@ class Scheduler:
     def admit(
         self, spec: JobSpec, *, client: str, priority: int = 0
     ) -> Job:
+        return self.admit_idempotent(
+            spec, client=client, priority=priority
+        )[0]
+
+    def admit_idempotent(
+        self,
+        spec: JobSpec,
+        *,
+        client: str,
+        priority: int = 0,
+        idempotency_key: str | None = None,
+    ) -> tuple[Job, bool]:
+        """Admit a job, replay-safe: returns ``(job, created)``.
+
+        With an ``idempotency_key``, a repeat submission (a client
+        retrying after a lost response) returns the original job with
+        ``created=False`` — and skips the quota check, since no new
+        load is being admitted.  The in-process lookup runs under the
+        store lock; the store's unique index covers the cross-process
+        race (that path reports ``created=True``, the only observable
+        difference being an HTTP 201 where a 200 would be stricter).
+        """
         if not client:
             raise ConfigurationError(
                 "submissions must carry a non-empty client id"
             )
         with self.store._lock:
+            if idempotency_key:
+                existing = self.store.find_by_idempotency_key(
+                    idempotency_key
+                )
+                if existing is not None:
+                    return existing, False
             self.quota.check(spec, client=client, store=self.store)
-            return self.store.submit(
-                spec, client=client, priority=priority
+            job = self.store.submit(
+                spec,
+                client=client,
+                priority=priority,
+                idempotency_key=idempotency_key,
             )
+            return job, True
 
     def lease(self, worker: str) -> Job | None:
         return self.store.lease_next(worker)

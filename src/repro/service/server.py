@@ -20,6 +20,7 @@ from __future__ import annotations
 import threading
 from pathlib import Path
 
+from repro.faults import active_fault_plan
 from repro.service.api import ServiceHTTPServer, make_handler
 from repro.service.scheduler import QuotaPolicy, Scheduler
 from repro.service.store import JobStore
@@ -121,10 +122,15 @@ class SimulationService:
             workers["alive"] == workers["configured"]
             and not workers["draining"]
         )
+        plan = active_fault_plan()
         return {
             "status": "ok" if healthy else "degraded",
             "queue_depth": counts["queued"],
             "running": counts["running"],
             "jobs": counts,
             "workers": workers,
+            # Chaos observability: a service running under an armed
+            # fault plan says so, so nobody mistakes injected turbulence
+            # for a production incident.
+            "fault_plan": None if plan is None else plan.summary(),
         }

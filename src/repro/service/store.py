@@ -24,7 +24,8 @@ import threading
 import time
 from pathlib import Path
 
-from repro.errors import InvalidJobState, JobNotFound
+from repro.errors import InvalidJobState, JobNotFound, StoreBusyError
+from repro.faults import fault_point
 from repro.service.jobs import (
     ACTIVE_STATES,
     JOB_STATES,
@@ -52,11 +53,24 @@ CREATE TABLE IF NOT EXISTS jobs (
     heartbeat   REAL,
     done_points INTEGER NOT NULL DEFAULT 0,
     error       TEXT,
-    result      TEXT
+    result      TEXT,
+    idem_key    TEXT
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, not_before);
 CREATE INDEX IF NOT EXISTS jobs_client ON jobs (client, state);
+CREATE UNIQUE INDEX IF NOT EXISTS jobs_idem ON jobs (idem_key)
+    WHERE idem_key IS NOT NULL;
 """
+
+#: sqlite3.OperationalError messages that mean "back off and retry".
+_BUSY_MARKERS = ("database is locked", "database is busy")
+
+
+def _translate_busy(exc: sqlite3.OperationalError) -> StoreBusyError | None:
+    message = str(exc).lower()
+    if any(marker in message for marker in _BUSY_MARKERS):
+        return StoreBusyError(f"job store is busy: {exc}")
+    return None
 
 
 class JobStore:
@@ -76,6 +90,19 @@ class JobStore:
             if self.path != ":memory:":
                 self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA busy_timeout=30000")
+            # Stores created before the idempotency column existed get
+            # it added in place; executescript's CREATE TABLE IF NOT
+            # EXISTS is a no-op for them, so migrate first.
+            columns = {
+                row["name"]
+                for row in self._conn.execute(
+                    "PRAGMA table_info(jobs)"
+                ).fetchall()
+            }
+            if columns and "idem_key" not in columns:
+                self._conn.execute(
+                    "ALTER TABLE jobs ADD COLUMN idem_key TEXT"
+                )
             self._conn.executescript(_SCHEMA)
 
     # -- lifecycle ---------------------------------------------------
@@ -93,26 +120,50 @@ class JobStore:
     # -- writes ------------------------------------------------------
 
     def submit(
-        self, spec: JobSpec, *, client: str, priority: int = 0
+        self,
+        spec: JobSpec,
+        *,
+        client: str,
+        priority: int = 0,
+        idempotency_key: str | None = None,
     ) -> Job:
-        """Persist a new ``queued`` job and return its record."""
+        """Persist a new ``queued`` job and return its record.
+
+        ``idempotency_key`` makes the submit replay-safe: a second
+        submission with the same key (a client retrying because the
+        first response was lost) returns the job the first attempt
+        created instead of enqueuing a duplicate.  Enforced by a unique
+        index, so the guarantee holds across service processes sharing
+        the database file, not just within one scheduler lock.
+        """
         now = time.time()
         job_id = new_job_id()
-        with self._transaction():
-            self._conn.execute(
-                "INSERT INTO jobs (id, client, priority, state, spec,"
-                " num_points, created, updated)"
-                " VALUES (?, ?, ?, 'queued', ?, ?, ?, ?)",
-                (
-                    job_id,
-                    str(client),
-                    int(priority),
-                    spec.canonical_json(),
-                    spec.num_points,
-                    now,
-                    now,
-                ),
+        try:
+            with self._transaction("submit"):
+                self._conn.execute(
+                    "INSERT INTO jobs (id, client, priority, state, spec,"
+                    " num_points, created, updated, idem_key)"
+                    " VALUES (?, ?, ?, 'queued', ?, ?, ?, ?, ?)",
+                    (
+                        job_id,
+                        str(client),
+                        int(priority),
+                        spec.canonical_json(),
+                        spec.num_points,
+                        now,
+                        now,
+                        idempotency_key,
+                    ),
+                )
+        except sqlite3.IntegrityError:
+            existing = (
+                self.find_by_idempotency_key(idempotency_key)
+                if idempotency_key
+                else None
             )
+            if existing is not None:
+                return existing
+            raise
         return self.get(job_id)
 
     def lease_next(
@@ -129,7 +180,7 @@ class JobStore:
         (``not_before`` in the future) are invisible.
         """
         now = time.time() if now is None else now
-        with self._transaction():
+        with self._transaction("lease"):
             row = self._conn.execute(
                 "SELECT j.* FROM jobs j"
                 " WHERE j.state = 'queued' AND j.not_before <= ?"
@@ -155,7 +206,7 @@ class JobStore:
     ) -> None:
         """Refresh a running job's liveness (and optionally progress)."""
         now = time.time()
-        with self._transaction():
+        with self._transaction("heartbeat"):
             if done_points is None:
                 cursor = self._conn.execute(
                     "UPDATE jobs SET heartbeat = ?, updated = ?"
@@ -190,13 +241,18 @@ class JobStore:
         error: str,
         *,
         retry_at: float | None = None,
+        dead: bool = False,
     ) -> None:
-        """Record a failure: terminal, or back to the queue for retry.
+        """Record a failure: terminal, dead, or back to the queue.
 
         With ``retry_at`` the job returns to ``queued`` with its
         attempt counter bumped and ``not_before`` set, so the scheduler
-        hides it until the backoff elapses; without, it is terminally
-        ``failed`` with the error message preserved.
+        hides it until the backoff elapses.  Without, it settles:
+        ``dead=True`` means the infrastructure exhausted its transient
+        retry budget (the job is eligible for an explicit requeue);
+        ``dead=False`` means the job itself is hopeless and is
+        terminally ``failed``.  The error message is preserved either
+        way.
         """
         if retry_at is not None:
             self._transition(
@@ -212,12 +268,29 @@ class JobStore:
             self._transition(
                 job_id,
                 expected="running",
-                state="failed",
+                state="dead" if dead else "failed",
                 extra_sql=", attempts = attempts + 1, error = ?,"
                 " worker = NULL",
                 extra_args=(str(error),),
                 operation="fail",
             )
+
+    def requeue_dead(self, job_id: str) -> Job:
+        """``dead`` → ``queued`` with a fresh retry budget.
+
+        The operator path out of ``dead``: attempts and backoff reset,
+        the recorded error is kept until the next attempt overwrites
+        it.  Any other state raises :class:`InvalidJobState`.
+        """
+        self._transition(
+            job_id,
+            expected="dead",
+            state="queued",
+            extra_sql=", attempts = 0, not_before = 0, worker = NULL,"
+            " heartbeat = NULL, done_points = 0",
+            operation="requeue",
+        )
+        return self.get(job_id)
 
     def cancel(self, job_id: str) -> Job:
         """``queued`` → ``cancelled``; any other state is an error."""
@@ -239,7 +312,7 @@ class JobStore:
         skips them for free).
         """
         now = time.time()
-        with self._transaction():
+        with self._transaction("requeue-orphans"):
             cursor = self._conn.execute(
                 "UPDATE jobs SET state = 'queued', worker = NULL,"
                 " heartbeat = NULL, done_points = 0, updated = ?"
@@ -254,6 +327,14 @@ class JobStore:
         with self._lock:
             row = self._require(job_id)
         return self._job_from_row(row)
+
+    def find_by_idempotency_key(self, key: str) -> Job | None:
+        """The job a previous submit stored under ``key``, if any."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE idem_key = ?", (key,)
+            ).fetchone()
+        return self._job_from_row(row) if row is not None else None
 
     def jobs(
         self, *, client: str | None = None, state: str | None = None
@@ -303,8 +384,8 @@ class JobStore:
 
     # -- internals ---------------------------------------------------
 
-    def _transaction(self):
-        return _Transaction(self._conn, self._lock)
+    def _transaction(self, operation: str = "write"):
+        return _Transaction(self._conn, self._lock, operation)
 
     def _require(self, job_id: str) -> sqlite3.Row:
         row = self._conn.execute(
@@ -326,7 +407,7 @@ class JobStore:
     ) -> None:
         """Guarded state change: fails loudly on a stale transition."""
         now = time.time()
-        with self._transaction():
+        with self._transaction(operation):
             cursor = self._conn.execute(
                 f"UPDATE jobs SET state = ?, updated = ?{extra_sql}"
                 " WHERE id = ? AND state = ?",
@@ -369,23 +450,55 @@ class _Transaction:
     ``BEGIN IMMEDIATE`` takes the write lock up front so a lease's
     SELECT-then-UPDATE pair is atomic against other service processes
     sharing the database file, not only against sibling threads.
+
+    Lock-contention errors (``database is locked``, surfaced despite
+    the busy timeout under heavy multi-process load — or injected by
+    the ``store.transaction`` fault point) are translated to the typed,
+    retryable :class:`~repro.errors.StoreBusyError` at the BEGIN and
+    COMMIT boundaries, so no caller ever pattern-matches on sqlite3
+    internals.
     """
 
     def __init__(
-        self, conn: sqlite3.Connection, lock: threading.RLock
+        self,
+        conn: sqlite3.Connection,
+        lock: threading.RLock,
+        operation: str = "write",
     ) -> None:
         self._conn = conn
         self._lock = lock
+        self._operation = operation
 
     def __enter__(self) -> sqlite3.Connection:
+        try:
+            fault_point("store.transaction", operation=self._operation)
+        except sqlite3.OperationalError as exc:
+            busy = _translate_busy(exc)
+            if busy is not None:
+                raise busy from exc
+            raise
         self._lock.acquire()
-        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            self._conn.execute("BEGIN IMMEDIATE")
+        except sqlite3.OperationalError as exc:
+            self._lock.release()
+            busy = _translate_busy(exc)
+            if busy is not None:
+                raise busy from exc
+            raise
         return self._conn
 
     def __exit__(self, exc_type, exc, tb) -> None:
         try:
             if exc_type is None:
-                self._conn.execute("COMMIT")
+                try:
+                    self._conn.execute("COMMIT")
+                except sqlite3.OperationalError as err:
+                    self._conn.execute("ROLLBACK")
+                    busy = _translate_busy(err)
+                    if busy is not None:
+                        raise busy from err
+                    raise
             else:
                 self._conn.execute("ROLLBACK")
         finally:

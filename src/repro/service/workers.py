@@ -10,13 +10,19 @@ periodically and per finished grid point (which doubles as progress
 reporting) — so ``GET /healthz`` and job status always reflect live
 workers, not wishful thinking.
 
-Failure handling distinguishes *permanent* errors (a
-:class:`~repro.errors.ConfigurationError` — the job can never succeed,
-fail it now) from *transient* ones (anything else, including the
-per-job :class:`~repro.errors.JobTimeout`): transient failures are
-retried with exponential backoff until the retry budget is exhausted.
-Because finished points live in the shared sweep cache, a retried job
-resumes instead of restarting.
+Failure handling distinguishes *permanent* errors (the job can never
+succeed — see :data:`PERMANENT_FAILURE_TYPES`, a table-driven predicate
+covering the ``ConfigurationError`` family, structural
+``StateError``/``GraphError`` and any ``SweepPointError`` wrapping one
+of those) from *transient* ones (anything else, including the per-job
+:class:`~repro.errors.JobTimeout` and injected faults): transient
+failures are retried with jittered exponential backoff — jitter decorrelates
+a requeue storm so a fleet of retrying workers cannot thundering-herd
+the store — until the retry budget is exhausted, at which point the job
+settles in the ``dead`` state (requeue-able once the turbulence
+passes) rather than terminal ``failed``.  Because finished points live
+in the shared sweep cache, a retried job resumes instead of
+restarting.
 
 Shutdown is a graceful drain: workers finish the job in hand, stop
 leasing new ones, and join.  A worker killed mid-job (process death)
@@ -26,24 +32,80 @@ the next service startup.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import threading
 import time
 from collections.abc import Callable
 from pathlib import Path
 
-from repro.errors import ConfigurationError, JobTimeout
+from repro.errors import (
+    ConfigurationError,
+    GraphError,
+    InjectedFaultError,
+    JobTimeout,
+    StateError,
+    StoreBusyError,
+    SweepPointError,
+)
+from repro.faults import fault_point
 from repro.service.jobs import Job
 from repro.service.scheduler import Scheduler
 from repro.service.store import JobStore
 from repro.sweep import run_sweep
 
-__all__ = ["WorkerFleet", "run_sweep_job"]
+__all__ = [
+    "PERMANENT_FAILURE_TYPES",
+    "WorkerFleet",
+    "is_permanent_failure",
+    "run_sweep_job",
+]
 
 #: A job runner: ``(job, progress) -> result document`` where
 #: ``progress(done, total)`` reports finished grid points.  Injectable
 #: so tests can exercise timeout/retry paths without real sweeps.
 JobRunner = Callable[[Job, Callable[[int, int], None]], list]
+
+#: Error types for which retrying is hopeless: resubmitting the same
+#: work would fail identically, so the job goes straight to ``failed``.
+#: Table-driven on purpose — tests (and deployments with bespoke
+#: runner exceptions) extend it with ``PERMANENT_FAILURE_TYPES.append``
+#: instead of monkeypatching classification logic.  ``isinstance``
+#: matching means the whole ``ConfigurationError`` family (SpecError-
+#: style subclasses included) is covered by its base entry.
+PERMANENT_FAILURE_TYPES: list[type[BaseException]] = [
+    ConfigurationError,
+    StateError,
+    GraphError,
+]
+
+
+def is_permanent_failure(error: BaseException) -> bool:
+    """True iff retrying ``error`` can never succeed.
+
+    A :class:`SweepPointError` is classified by what it wraps: the
+    sweep driver chains the real failure as ``__cause__``, and a grid
+    point that failed with a ``ConfigurationError`` is just as hopeless
+    wrapped as bare.
+    """
+    seen = 0
+    while isinstance(error, SweepPointError) and error.__cause__ is not None:
+        error = error.__cause__
+        seen += 1
+        if seen > 10:  # defensive: a cause cycle must not hang a worker
+            break
+    return isinstance(error, tuple(PERMANENT_FAILURE_TYPES))
+
+
+def _jitter(token: str) -> float:
+    """Deterministic uniform in [0, 1) from a string token.
+
+    Hash-derived rather than drawn from an RNG so backoff schedules are
+    a pure function of (job id, attempt) — replayable under a fault
+    plan — while still decorrelating concurrent workers.
+    """
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
 
 
 def _jsonable(value: float) -> float | None:
@@ -70,6 +132,9 @@ def run_sweep_job(
         cache_dir=cache_dir,
         measure=job.spec.measure,
         on_error="skip",
+        # A torn cache file (crashed writer, disk fault) must not brick
+        # the job on every retry: discard and re-measure the point.
+        on_corrupt="remeasure",
         progress=lambda done, total, _point: progress(done, total),
     )
     return [
@@ -175,12 +240,42 @@ class WorkerFleet:
     # -- execution ---------------------------------------------------
 
     def _worker_loop(self, worker_id: str) -> None:
+        busy_streak = 0
         while not self._stop.is_set():
-            job = self.scheduler.lease(worker_id)
+            try:
+                job = self.scheduler.lease(worker_id)
+            except StoreBusyError:
+                # Contended store: back off (jittered, per-worker) and
+                # try again rather than killing the worker thread.
+                busy_streak += 1
+                pause = min(
+                    self.poll_interval * (2 ** min(busy_streak, 6)), 1.0
+                ) * (0.5 + _jitter(f"{worker_id}:busy:{busy_streak}"))
+                self._stop.wait(pause)
+                continue
+            busy_streak = 0
             if job is None:
                 self._stop.wait(self.poll_interval)
                 continue
             self._run_leased(worker_id, job)
+
+    def _heartbeat(
+        self, job_id: str, *, done_points: int | None = None
+    ) -> bool:
+        """Record one heartbeat; a dropped beat is not a job failure.
+
+        Runs through the ``worker.heartbeat`` fault point.  Injected
+        drops and transient store contention are swallowed (returning
+        ``False``): missing one beat only matters if enough are missed
+        for the lease to look abandoned, which is exactly the orphan-
+        requeue path the store already handles.
+        """
+        try:
+            fault_point("worker.heartbeat", job_id=job_id)
+            self.store.record_heartbeat(job_id, done_points=done_points)
+        except (InjectedFaultError, StoreBusyError):
+            return False
+        return True
 
     def _run_leased(self, worker_id: str, job: Job) -> None:
         abandoned = threading.Event()
@@ -193,13 +288,18 @@ class WorkerFleet:
                 raise JobTimeout(
                     f"job {job.id} abandoned after timeout"
                 )
-            self.store.record_heartbeat(job.id, done_points=done)
+            self._heartbeat(job.id, done_points=done)
 
         outcome: dict = {}
 
         def _invoke() -> None:
             runner = self._runner
             try:
+                fault_point(
+                    "worker.job-execute",
+                    job_id=job.id,
+                    attempt=job.attempts,
+                )
                 if runner is None:
                     outcome["result"] = run_sweep_job(
                         job, progress, cache_dir=self.cache_dir
@@ -218,7 +318,7 @@ class WorkerFleet:
             thread.join(self.heartbeat_interval)
             if not thread.is_alive():
                 break
-            self.store.record_heartbeat(job.id)
+            self._heartbeat(job.id)
             if (
                 self.job_timeout is not None
                 and time.monotonic() - started > self.job_timeout
@@ -234,20 +334,57 @@ class WorkerFleet:
                 return
         error = outcome.get("error")
         if error is None:
-            self.store.complete(job.id, outcome["result"])
+            self._settle(self.store.complete, job.id, outcome["result"])
         else:
             self._record_failure(job, error)
+
+    def _settle(self, operation: Callable, *args) -> None:
+        """Run a terminal store transition through busy-retry.
+
+        Losing a ``complete``/``fail`` to transient store contention
+        would orphan a finished job until the next restart; a short
+        bounded retry loop rides out busy storms instead.
+        """
+        for attempt in range(8):
+            try:
+                operation(*args)
+                return
+            except StoreBusyError:
+                if attempt == 7:
+                    raise
+                time.sleep(
+                    min(0.05 * (2**attempt), 0.5)
+                    * (0.5 + _jitter(f"settle:{args[0]}:{attempt}"))
+                )
 
     def _record_failure(
         self, job: Job, error: BaseException
     ) -> None:
-        """Terminal fail, or retry-with-backoff for transient errors."""
+        """Classify and record a failure.
+
+        Permanent errors (:func:`is_permanent_failure`) fail now;
+        transient ones retry with jittered exponential backoff until
+        the budget runs out, then settle in ``dead``.
+        """
         message = f"{type(error).__name__}: {error}"
-        transient = not isinstance(error, ConfigurationError)
-        if transient and job.attempts < self.max_retries:
-            delay = self.backoff_base * (2**job.attempts)
-            self.store.fail(
-                job.id, message, retry_at=time.time() + delay
+        if is_permanent_failure(error):
+            self._settle(self.store.fail, job.id, message)
+        elif job.attempts < self.max_retries:
+            delay = self.backoff_base * (2**job.attempts) * (
+                0.5 + _jitter(f"{job.id}:{job.attempts}")
+            )
+            self._settle(
+                lambda job_id, msg: self.store.fail(
+                    job_id, msg, retry_at=time.time() + delay
+                ),
+                job.id,
+                message,
             )
         else:
-            self.store.fail(job.id, message)
+            self._settle(
+                lambda job_id, msg: self.store.fail(
+                    job_id, msg, dead=True
+                ),
+                job.id,
+                message,
+            )

@@ -34,13 +34,25 @@ class ResultSet(Sequence):
         The :class:`~repro.simulation.spec.SimulationSpec` that produced
         them, when available (kept for provenance; ``summary()`` and
         ``winner_histogram()`` use it).
+    degraded_kernels:
+        ``{"backend/kernel": reason}`` for accelerated kernels that
+        failed at runtime during this execution and were quarantined —
+        the run completed on the reference path, and this records that
+        fact on the result itself (empty in the normal case).
     """
 
-    def __init__(self, results: Sequence[RunResult], spec=None) -> None:
+    def __init__(
+        self,
+        results: Sequence[RunResult],
+        spec=None,
+        *,
+        degraded_kernels: dict | None = None,
+    ) -> None:
         # Empty sets are allowed (an empty slice of a list is a list);
         # the aggregate accessors degrade to NaN / zero counts.
         self._results = tuple(results)
         self.spec = spec
+        self.degraded_kernels = dict(degraded_kernels or {})
 
     # ------------------------------------------------------------------
     # Sequence protocol — drop-in for list[RunResult]
@@ -54,7 +66,11 @@ class ResultSet(Sequence):
     def __getitem__(self, index):
         picked = self._results[index]
         if isinstance(index, slice):
-            return ResultSet(picked, spec=self.spec)
+            return ResultSet(
+                picked,
+                spec=self.spec,
+                degraded_kernels=self.degraded_kernels,
+            )
         return picked
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

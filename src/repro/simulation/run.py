@@ -48,7 +48,7 @@ contract-checked); ``population``/``agent``/``batch`` accept a custom
 
 from __future__ import annotations
 
-from repro.backends import resolve_backend, use_backend
+from repro.backends import degraded_kernels, resolve_backend, use_backend
 from repro.engine.registry import get_engine
 from repro.errors import ConsensusNotReached
 from repro.simulation.results import ResultSet
@@ -66,8 +66,18 @@ def execute(spec: SimulationSpec) -> ResultSet:
     experiment driver and service job picks up the spec's ``backend``
     without any per-engine wiring.
     """
+    degraded_before = degraded_kernels()
     with use_backend(resolve_backend(spec.backend)):
         results = list(get_engine(spec.engine).run(spec))
+    # Kernels quarantined *during this run* (runtime failure, graceful
+    # fall-back to the reference path) are recorded on the result, so a
+    # degraded execution is visible in the output, not only in a
+    # warning that scrolled past.
+    degraded = {
+        key: reason
+        for key, reason in degraded_kernels().items()
+        if key not in degraded_before
+    }
     if spec.on_budget == "raise":
         # All four built-in adapters raise from inside (so direct
         # get_engine(...).run(spec) callers see the same contract);
@@ -81,4 +91,4 @@ def execute(spec: SimulationSpec) -> ResultSet:
                 f"{censored} of {spec.replicas} replicas did not "
                 f"reach consensus within {budget} rounds",
             )
-    return ResultSet(results, spec)
+    return ResultSet(results, spec, degraded_kernels=degraded)

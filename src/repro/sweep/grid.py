@@ -38,6 +38,7 @@ import itertools
 import json
 import math
 import os
+import time
 from collections.abc import Callable, Mapping
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -59,6 +60,7 @@ from repro.errors import (
     ConfigurationError,
     SweepPointError,
 )
+from repro.faults import fault_point
 from repro.graphs import make_graph
 from repro.provenance import canon_hash, git_revision, record_artifact
 from repro.seeding import RandomState, spawn_generators
@@ -527,6 +529,40 @@ def _stamp_point_manifest(
     )
 
 
+#: Orphaned cache temp files older than this (seconds) are swept at
+#: cache open.  Generous on purpose: a *live* writer publishes within
+#: milliseconds of creating its temp file, so anything an hour old is
+#: litter from a crashed process, not work in flight.
+STALE_TMP_MAX_AGE = 3600.0
+
+
+def _sweep_stale_tmp(cache: Path, *, max_age: float | None = None) -> int:
+    """Delete orphaned ``.{name}.{pid}.tmp`` litter from ``cache``.
+
+    A process crashing between temp-write and ``os.replace`` (the
+    window the ``sweep.cache-write`` fault point exercises) leaves its
+    temp file behind forever — harmless to correctness (the dot prefix
+    keeps it out of cache reads and provenance payload scans) but
+    accumulating across crashes.  Files younger than ``max_age`` are
+    left alone: they may belong to a concurrent writer racing toward
+    its rename.
+    """
+    max_age = STALE_TMP_MAX_AGE if max_age is None else max_age
+    now = time.time()
+    removed = 0
+    for tmp in cache.glob(".*.tmp"):
+        try:
+            if now - tmp.stat().st_mtime < max_age:
+                continue
+            tmp.unlink()
+            removed += 1
+        except OSError:
+            # Lost a race with a concurrent sweeper or the file's own
+            # writer completing its rename; either way it is gone.
+            continue
+    return removed
+
+
 def _write_point_atomic(cache_file: Path, payload: dict) -> None:
     """Write a point's cache entry via temp-file + ``os.replace``.
 
@@ -541,7 +577,15 @@ def _write_point_atomic(cache_file: Path, payload: dict) -> None:
     tmp = cache_file.with_name(
         f".{cache_file.name}.{os.getpid()}.tmp"
     )
-    tmp.write_text(json.dumps(payload))
+    document = json.dumps(payload)
+    tmp.write_text(document)
+    # The crash/torn-write window the chaos suite drives: a "crash"
+    # here leaves the temp file orphaned (stale-tmp hygiene cleans it
+    # up), a "torn-write" publishes a truncated document to the final
+    # path (the CacheIntegrityError / on_corrupt machinery heals it).
+    fault_point(
+        "sweep.cache-write", path=str(cache_file), payload=document
+    )
     os.replace(tmp, cache_file)
 
 
@@ -553,6 +597,7 @@ def run_sweep(
     measure: str | None = None,
     batch_point_function: BatchPointFunction | None = None,
     on_error: str = "raise",
+    on_corrupt: str = "raise",
     progress: Callable[[int, int, SweepPoint], None] | None = None,
 ) -> list[SweepPoint]:
     """Measure every grid point, loading cached points where present.
@@ -569,6 +614,15 @@ def run_sweep(
     :class:`SweepPoint` (``error`` set, no values, never cached) and
     keeps going — the long-running service layer measures jobs this
     way so one broken point cannot abort a whole submission.
+
+    ``on_corrupt`` controls what an *undecodable cached file* does:
+    ``"raise"`` (default) raises the typed
+    :class:`~repro.errors.CacheIntegrityError` naming the file —
+    right for interactive use, where silent data loss should be a
+    human decision; ``"remeasure"`` deletes the corrupt file and
+    re-measures the point as if it were never cached — right for the
+    service fleet, where a torn write from a crashed process must not
+    brick the job on every subsequent retry.
 
     ``progress`` (when given) is called as ``progress(done, total,
     point)`` after each point lands — including points served from the
@@ -607,6 +661,11 @@ def run_sweep(
         raise ConfigurationError(
             f"on_error must be 'raise' or 'skip', got {on_error!r}"
         )
+    if on_corrupt not in ("raise", "remeasure"):
+        raise ConfigurationError(
+            f"on_corrupt must be 'raise' or 'remeasure', "
+            f"got {on_corrupt!r}"
+        )
     if measure is None:
         if batch_point_function is not None:
             measure = "batch"
@@ -629,6 +688,7 @@ def run_sweep(
     cache = Path(cache_dir) if cache_dir is not None else None
     if cache is not None:
         cache.mkdir(parents=True, exist_ok=True)
+        _sweep_stale_tmp(cache)
     base_entropy = _seed_entropy(spec.seed)
 
     all_points = spec.points()
@@ -659,10 +719,21 @@ def run_sweep(
                     values=tuple(payload["values"]),
                 )
             except (ValueError, KeyError, TypeError) as exc:
-                raise CacheIntegrityError(cache_file, exc) from exc
-            results.append(point)
-            _advance(point)
-            continue
+                if on_corrupt == "remeasure":
+                    # Torn write from a crashed process: discard the
+                    # poisoned file and measure the point afresh — its
+                    # seed stream guarantees identical values, and the
+                    # rewrite re-stamps its provenance manifest.
+                    try:
+                        cache_file.unlink()
+                    except OSError:
+                        pass
+                else:
+                    raise CacheIntegrityError(cache_file, exc) from exc
+            else:
+                results.append(point)
+                _advance(point)
+                continue
         entropy = base_entropy + [int(key[:12], 16)]
         results.append(None)
         pending.append((len(results) - 1, dict(params), cache_file, entropy))

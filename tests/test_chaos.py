@@ -1,0 +1,183 @@
+"""End-to-end chaos tests: the whole service stack under seeded faults.
+
+Each test drives :func:`repro.faults.chaos.run_chaos` — a real
+SQLite-backed store, worker fleet and HTTP API — under one of the
+builtin fault plans at a fixed seed, and asserts the harness's own
+invariant audit comes back clean: jobs settle ``done``/``dead`` only,
+dead jobs carry errors, nothing is lost or duplicated, done results are
+byte-identical to a fault-free baseline, and the sweep cache's
+provenance chain replays.  A final test pins the determinism contract
+itself: the same ``(plan, seed)`` always produces the same fault
+schedule.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.faults import builtin_plan, use_fault_plan
+from repro.faults.chaos import run_chaos
+from repro.service import ServiceClient, SimulationService
+
+# Small-but-real chaos runs: enough jobs to get worker contention,
+# few enough to keep each test in single-digit seconds.
+_CHAOS_KWARGS = dict(jobs=4, clients=2, workers=2, timeout=120.0)
+
+
+def _assert_clean(report):
+    assert report.ok, report.render()
+    assert len(report.jobs) == len(report.submitted)
+
+
+class TestChaosPlans:
+    def test_worker_crash_heals_to_done(self):
+        report = run_chaos("worker-crash", seed=0, **_CHAOS_KWARGS)
+        _assert_clean(report)
+        # p=0.5 over every execute attempt: the plan genuinely bit.
+        assert report.fired.get("worker.job-execute", 0) >= 1
+        assert report.state_counts().get("done", 0) >= 1
+        assert report.compared_points > 0
+
+    def test_torn_cache_write_healed_not_published(self):
+        report = run_chaos("torn-cache-write", seed=0, **_CHAOS_KWARGS)
+        _assert_clean(report)
+        assert report.fired.get("sweep.cache-write", 0) >= 1
+        # Every done job's values matched the fault-free baseline and
+        # the provenance chain over the healed cache replays clean.
+        assert report.verify_report is not None
+        assert "broken" not in report.verify_report
+
+    def test_flaky_transport_absorbed_by_retries(self):
+        report = run_chaos("flaky-transport", seed=0, **_CHAOS_KWARGS)
+        _assert_clean(report)
+        fired = sum(
+            report.fired.get(point, 0)
+            for point in (
+                "client.request",
+                "server.request",
+                "server.response",
+            )
+        )
+        assert fired >= 1
+        # Transport faults never kill jobs — they only delay them.
+        assert report.state_counts() == {"done": len(report.submitted)}
+
+    def test_crash_storm_goes_dead_then_requeues_to_done(self, tmp_path):
+        # Every execute attempt faults: retries exhaust, jobs go dead
+        # (not failed — the specs are valid).  After the storm passes,
+        # an operator requeue must carry every job to done.
+        plan = builtin_plan("worker-crash-storm", seed=0)
+        with SimulationService(
+            tmp_path / "jobs.db",
+            cache_dir=tmp_path / "cache",
+            port=0,
+            num_workers=2,
+            max_retries=1,
+            backoff_base=0.02,
+        ) as service:
+            client = ServiceClient(
+                service.url, client_id="storm", retry_base=0.02
+            )
+            with use_fault_plan(plan, scope="process"):
+                job_id = client.submit(
+                    {
+                        "grid": {"n": [16], "k": [2]},
+                        "num_runs": 2,
+                        "seed": 0,
+                        "fixed": {"max_rounds": 4000},
+                        "measure": "batch",
+                    }
+                )
+                deadline = time.monotonic() + 60
+                while time.monotonic() < deadline:
+                    if client.status(job_id)["state"] == "dead":
+                        break
+                    time.sleep(0.05)
+            status = client.status(job_id)
+            assert status["state"] == "dead"
+            assert status["error"]
+            # Storm over (plan disarmed): requeue and ride it to done.
+            requeued = client.requeue(job_id)
+            assert requeued["state"] == "queued"
+            result = client.wait(job_id, timeout=60)
+            assert result["state"] == "done"
+            assert result["points"]
+
+    def test_report_renders(self):
+        report = run_chaos(
+            "heartbeat-drop", seed=0, jobs=2, clients=1, workers=1
+        )
+        _assert_clean(report)
+        rendered = report.render()
+        assert "chaos plan=heartbeat-drop seed=0" in rendered
+        assert "OK: all chaos invariants held" in rendered
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_schedule(self):
+        for name in ("mixed", "flaky-transport", "sqlite-busy"):
+            first = builtin_plan(name, seed=7)
+            second = builtin_plan(name, seed=7)
+            for point in first.summary()["points"]:
+                assert first.decisions(point, 300) == second.decisions(
+                    point, 300
+                ), f"{name}/{point} schedule is not reproducible"
+
+    def test_custom_plan_reports_custom_name(self):
+        plan = builtin_plan("heartbeat-drop", seed=0)
+        report = run_chaos(plan, jobs=1, clients=1, workers=1)
+        assert report.plan_name == "custom"
+        _assert_clean(report)
+
+
+class TestChaosCli:
+    def test_cli_runs_plan_and_exits_zero(self, tmp_path):
+        env = {
+            "PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src"),
+            "PATH": "/usr/bin:/bin",
+        }
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "chaos",
+                "--plan",
+                "heartbeat-drop",
+                "--seed",
+                "0",
+                "--jobs",
+                "2",
+                "--clients",
+                "1",
+                "--workers",
+                "1",
+                "--dir",
+                str(tmp_path / "chaos"),
+                "--keep",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "OK: all chaos invariants held" in result.stdout
+        assert (tmp_path / "chaos" / "cache").is_dir()
+
+    def test_cli_rejects_unknown_plan(self):
+        env = {
+            "PYTHONPATH": str(Path(__file__).resolve().parents[1] / "src"),
+            "PATH": "/usr/bin:/bin",
+        }
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "chaos", "--plan", "hurricane"],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 2

@@ -340,6 +340,65 @@ def test_registry_completeness_orphan_kernel(tmp_path):
     )
 
 
+def test_registry_completeness_backend_kernel_counts_as_request(tmp_path):
+    # The quarantine-aware dispatch helper requests kernels by name
+    # through a plain function call, not a backend attribute; the rule
+    # must recognise both forms or every backend_kernel site regresses
+    # into a false "orphan kernel" diagnostic.
+    write_tree(
+        tmp_path,
+        {
+            "backends/numba_kernels.py": """\
+                KERNEL_NAMES = frozenset({"real_kernel"})
+            """,
+            "core/base.py": """\
+                def hot_path(data):
+                    fn = backend_kernel("real_kernel")
+                    return fn(data)
+            """,
+        },
+    )
+    assert lint(tmp_path, "registry-completeness") == []
+
+
+def test_registry_completeness_unarmed_fault_point(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "faults/points.py": """\
+                DECLARED = (FaultPoint("store.transaction", "doc"),)
+            """,
+            "service/store.py": """\
+                def begin():
+                    fault_point("worker.rogue")
+            """,
+        },
+    )
+    rendered = sorted(
+        d.render() for d in lint(tmp_path, "registry-completeness")
+    )
+    assert len(rendered) == 2
+    assert "declared but no armed" in rendered[0]
+    assert "'store.transaction'" in rendered[0]
+    assert "undeclared point 'worker.rogue'" in rendered[1]
+
+
+def test_registry_completeness_armed_fault_point_is_clean(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "faults/points.py": """\
+                DECLARED = (FaultPoint("store.transaction", "doc"),)
+            """,
+            "service/store.py": """\
+                def begin():
+                    fault_point("store.transaction", operation="write")
+            """,
+        },
+    )
+    assert lint(tmp_path, "registry-completeness") == []
+
+
 def test_registry_completeness_clean_tree(tmp_path):
     write_tree(
         tmp_path,

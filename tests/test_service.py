@@ -346,20 +346,20 @@ class TestWorkerFleet:
         assert runner.calls == 3
         assert store.get(job.id).attempts == 2
 
-    def test_retries_exhausted_fails(self, store):
+    def test_retries_exhausted_goes_dead(self, store):
         runner = _FlakyRunner(failures=99)
         fleet = self._fleet(store, runner=runner, max_retries=1)
         job = store.submit(_spec(), client="a")
         fleet.start()
         try:
             assert _wait_for(
-                lambda: store.get(job.id).state == "failed"
+                lambda: store.get(job.id).state == "dead"
             )
         finally:
             assert fleet.drain(10.0)
-        failed = store.get(job.id)
+        dead = store.get(job.id)
         assert runner.calls == 2  # initial + 1 retry
-        assert "transient blip" in failed.error
+        assert "transient blip" in dead.error
 
     def test_backoff_delays_retry(self, store):
         runner = _FlakyRunner(failures=1)
@@ -397,7 +397,7 @@ class TestWorkerFleet:
         assert runner.calls == 1  # never retried
         assert "bad spec" in store.get(job.id).error
 
-    def test_job_timeout_retried_then_failed(self, store):
+    def test_job_timeout_retried_then_dead(self, store):
         def sleepy(job, progress):
             time.sleep(30.0)
             return []
@@ -413,14 +413,14 @@ class TestWorkerFleet:
         fleet.start()
         try:
             assert _wait_for(
-                lambda: store.get(job.id).state == "failed",
+                lambda: store.get(job.id).state == "dead",
                 timeout=15.0,
             )
         finally:
             assert fleet.drain(10.0)
-        failed = store.get(job.id)
-        assert failed.attempts == 2
-        assert "timeout" in failed.error.lower()
+        dead = store.get(job.id)
+        assert dead.attempts == 2
+        assert "timeout" in dead.error.lower()
 
     def test_graceful_drain_finishes_in_flight_job(self, store):
         release = threading.Event()
